@@ -1,0 +1,154 @@
+"""Table 3 — hybrid query Q4 with pruning.
+
+Paper setup: Q4 = R1 before R2 and R1 overlaps R3; nI = (5M, 100K, 1K);
+dS, dI uniform; t range (0, 200K); R3's maximum interval length swept
+1000 -> 200 to control how many R1 intervals survive the colocation
+pruning.  Columns: FCTS vs All-Seq-Matrix vs Pruned-All-Seq-Matrix times
+and the percentage of R1 pruned.
+
+Here sizes are scaled to (10K, 60, 100): the paper's extreme 5M:1K ratio
+cannot survive a 500x down-scale (R3 would hold two intervals), so the
+ratios are compressed while keeping R1 dominant.  Expected shape: the
+pruning percentage rises as R3's intervals shrink, and PASM ships
+markedly fewer pairs than All-Seq-Matrix.  Modelled *times* for PASM and
+All-Seq-Matrix are near-tied at this scale: PASM's marking cycle must
+re-ship all of R1 once, which costs about what its grid savings earn
+back when the grid straggler (n/o per cell, identical for both designs)
+binds.  The paper's 2x PASM speedups imply a regime where the grid
+cycle's aggregate traffic utterly dominates per-cycle costs; see
+EXPERIMENTS.md for the full accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+from common import (  # noqa: E402
+    human_count,
+    human_seconds,
+    print_section,
+    render_table,
+    run_algorithm,
+    scaled_cost_model,
+)
+
+from repro.core.query import IntervalJoinQuery  # noqa: E402
+from repro.workloads import SyntheticConfig, generate_relation  # noqa: E402
+
+SCALE = 2_000.0
+Q4 = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R1", "overlaps", "R3")]
+)
+SIZES = {"R1": 10_000, "R2": 60, "R3": 100}
+ALGORITHMS = ("fcts", "all_seq_matrix", "pasm")
+
+
+def make_data(r3_max_length: float):
+    t_range = (0, 200_000)
+    return {
+        "R1": generate_relation(
+            "R1",
+            SyntheticConfig(
+                n=SIZES["R1"], t_range=t_range, length_range=(1, 1_000),
+                seed=1,
+            ),
+        ),
+        "R2": generate_relation(
+            "R2",
+            SyntheticConfig(
+                n=SIZES["R2"], t_range=t_range, length_range=(1, 1_000),
+                seed=2,
+            ),
+        ),
+        "R3": generate_relation(
+            "R3",
+            SyntheticConfig(
+                n=SIZES["R3"], t_range=t_range,
+                length_range=(1, r3_max_length), seed=3,
+            ),
+        ),
+    }
+
+
+def run_row(r3_max_length: float, grid_parts: int = 6):
+    data = make_data(r3_max_length)
+    cost = scaled_cost_model(SCALE)
+    results = {
+        name: run_algorithm(
+            Q4, data, name, num_partitions=grid_parts,
+            cost_model=cost, grid_parts=grid_parts,
+        )
+        for name in ALGORITHMS
+    }
+    outputs = {len(r) for r in results.values()}
+    assert len(outputs) == 1, "algorithms disagreed"
+    return data, results
+
+
+def main() -> None:
+    print_section(
+        "Table 3 — Q4 = R1 bf R2 and R1 ov R3; nI = (10K, 60, 100); "
+        "R3 max interval length swept (6x6 grid)"
+    )
+    rows = []
+    for r3_max in (6_000, 4_000, 2_000, 800, 400):
+        data, results = run_row(r3_max)
+        pasm = results["pasm"]
+        pruned_pct = 100.0 * pasm.metrics.pruned_rows / (
+            len(data["R1"]) + len(data["R3"])
+        )
+        asm = results["all_seq_matrix"]
+        rows.append(
+            [
+                human_count(r3_max),
+                human_seconds(results["fcts"].metrics.simulated_seconds),
+                human_seconds(
+                    results["all_seq_matrix"].metrics.simulated_seconds
+                ),
+                human_seconds(pasm.metrics.simulated_seconds),
+                f"{pruned_pct:.1f}",
+                human_count(asm.metrics.shuffled_records),
+                human_count(pasm.metrics.shuffled_records),
+            ]
+        )
+    print(
+        render_table(
+            "",
+            [
+                "R3 i_max", "t FCTS", "t All-Seq-Matrix", "t PASM",
+                "% pruned", "pairs ASM", "pairs PASM",
+            ],
+            rows,
+            note="paper: pruning 23-62% as i_max shrinks; here pruning "
+            "cuts shipped pairs ~40% while modelled times stay close "
+            "(see module docstring)",
+        )
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table3_bench(benchmark, algorithm):
+    data = make_data(2_000)
+    # shrink R1 for the timed variant
+    from repro.core.schema import Relation
+
+    data["R1"] = Relation("R1", data["R1"].rows[:1_000])
+    cost = scaled_cost_model(SCALE)
+    result = benchmark.pedantic(
+        lambda: run_algorithm(
+            Q4, data, algorithm, num_partitions=6,
+            cost_model=cost, grid_parts=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) >= 0
+
+
+if __name__ == "__main__":
+    main()

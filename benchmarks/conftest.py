@@ -1,0 +1,11 @@
+"""pytest configuration for the benchmark suite.
+
+Benchmarks live outside the package; each module inserts its own
+directory on ``sys.path`` so ``common`` resolves whether invoked through
+pytest or directly.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The paper's opening scenario: environmental episode analysis.
+
+From simulated weather-station data, build interval relations of
+high-wind, high-temperature and high-pollution episodes, then answer the
+introduction's query: *find all triples (w, t, p) where the temperature
+and pollution episodes are contained within the wind episode* — evidence
+for wind-driven pollutant build-up models.
+
+The query is a colocation star (two `contains` conditions out of `wind`),
+so the planner picks RCCIS.
+
+Run:  python examples/environmental_monitoring.py
+"""
+
+from repro import IntervalJoinQuery, execute
+from repro.stats import human_count, render_table
+from repro.workloads import WeatherConfig, generate_weather_episodes
+
+
+def main() -> None:
+    episodes = generate_weather_episodes(
+        WeatherConfig(
+            n_regimes=400,
+            window=(0.0, 24.0 * 365),  # one year, hourly resolution
+            wind_duration=(6.0, 72.0),
+            nested_fraction=0.6,
+            seed=2014,
+        )
+    )
+    for name, relation in episodes.items():
+        print(f"{name:12s} {len(relation):5d} episodes")
+
+    query = IntervalJoinQuery.parse(
+        [
+            ("wind", "contains", "temperature"),
+            ("wind", "contains", "pollution"),
+        ]
+    )
+    print(f"\nquery: {query}   [class={query.query_class.name}]\n")
+
+    result = execute(query, episodes, num_partitions=16)
+    print(
+        f"{len(result)} wind episodes fully contain both a high-temperature "
+        "and a high-pollution episode\n"
+    )
+
+    # Show the first few matches.
+    sample_rows = []
+    for wind_row, temp_row, poll_row in result.tuples[:5]:
+        sample_rows.append(
+            [
+                str(wind_row.interval("I")),
+                str(temp_row.interval("I")),
+                str(poll_row.interval("I")),
+            ]
+        )
+    print(
+        render_table(
+            "sample matches (hours since epoch)",
+            ["wind episode", "temperature episode", "pollution episode"],
+            sample_rows,
+        )
+    )
+
+    m = result.metrics
+    print(
+        f"\nexecuted by {m.algorithm}: {m.num_cycles} MR cycles, "
+        f"{human_count(m.shuffled_records)} shuffled pairs, "
+        f"{human_count(m.replicated_intervals)} intervals replicated"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Packet-train analysis on backbone traces (the paper's Section 6.2).
+
+Pipeline:
+ 1. generate a synthetic MAWI-style trans-Pacific trace (profile P04);
+ 2. build packet trains with the paper's 500 ms inter-arrival cut-off;
+ 3. scale the train set up by replication (the paper scales to 3M);
+ 4. run the star self-join  T1 overlaps T2 and T2 overlaps T3  — "find
+    all train triples where T1 overlaps T2 and T2 overlaps T3", used for
+    studying concurrent flows in network traffic models;
+ 5. compare RCCIS against the 2-way cascade, as Table 2 does.
+
+Run:  python examples/network_packet_trains.py
+"""
+
+from repro import IntervalJoinQuery, execute
+from repro.stats import human_count, human_seconds, render_table
+from repro.workloads import (
+    TRACE_PROFILES,
+    build_packet_trains,
+    generate_trace,
+    replicate_trains,
+)
+from repro.core.schema import Relation
+
+
+def main() -> None:
+    profile = TRACE_PROFILES["P04"]
+    print(f"trace {profile.name} ({profile.date}): generating ...")
+    packets = generate_trace(profile, seed=4)
+    trains = build_packet_trains(packets, gap_threshold=0.5)
+    print(f"  {len(packets)} packets -> {len(trains)} packet trains")
+
+    # Scale up by replication (paper: to 3M; here: laptop scale).
+    target = 3_000
+    scaled = replicate_trains(trains, target, seed=4)
+    copies = target / max(len(trains), 1)
+    print(f"  replicated to {target} trains (~{copies:.0f} copies)\n")
+
+    base = Relation.of_intervals("T1", scaled)
+    data = {"T1": base, "T2": base.alias("T2"), "T3": base.alias("T3")}
+    query = IntervalJoinQuery.parse(
+        [("T1", "overlaps", "T2"), ("T2", "overlaps", "T3")]
+    )
+
+    rows = []
+    output_sizes = set()
+    for algorithm in ("rccis", "two_way_cascade"):
+        result = execute(query, data, algorithm=algorithm, num_partitions=16)
+        output_sizes.add(len(result))
+        m = result.metrics
+        rows.append(
+            [
+                algorithm,
+                m.num_cycles,
+                human_count(m.shuffled_records),
+                human_count(m.comparisons),
+                human_seconds(m.simulated_seconds),
+            ]
+        )
+    assert len(output_sizes) == 1, "algorithms disagreed!"
+    print(
+        render_table(
+            f"star self-join on {target} trains "
+            f"({output_sizes.pop()} output triples, 16 reducers)",
+            ["algorithm", "MR cycles", "# pairs shuffled", "# comparisons",
+             "modelled time"],
+            rows,
+            note="Table 2's shape: RCCIS beats the cascade on every trace",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

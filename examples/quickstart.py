@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: a 3-way interval join, four ways.
+
+Builds three small synthetic relations, runs the colocation chain query
+Q1 = R1 overlaps R2 and R2 overlaps R3 with the paper's RCCIS algorithm
+and the two baselines, and prints the communication metrics the paper's
+Table 1 tabulates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IntervalJoinQuery, execute, reference_join
+from repro.stats import human_count, human_seconds, render_table
+from repro.workloads import SyntheticConfig, generate_relation
+
+
+def main() -> None:
+    # The paper's synthetic generator: nI intervals, uniform start points
+    # (dS) and lengths (dI) over a fixed time range.
+    config = lambda seed: SyntheticConfig(  # noqa: E731
+        n=2_000,
+        start_dist="uniform",
+        length_dist="uniform",
+        t_range=(0, 100_000),
+        length_range=(1, 100),
+        seed=seed,
+    )
+    data = {
+        "R1": generate_relation("R1", config(1)),
+        "R2": generate_relation("R2", config(2)),
+        "R3": generate_relation("R3", config(3)),
+    }
+
+    query = IntervalJoinQuery.parse(
+        [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+    )
+    print(f"query:  {query}")
+    print(f"class:  {query.query_class.name}")
+
+    # Ground truth (in-memory backtracking join).
+    reference = reference_join(query, data)
+    print(f"output: {len(reference)} tuples\n")
+
+    rows = []
+    for algorithm in ("rccis", "all_replicate", "two_way_cascade"):
+        result = execute(query, data, algorithm=algorithm, num_partitions=16)
+        assert result.same_output(reference), algorithm
+        m = result.metrics
+        rows.append(
+            [
+                algorithm,
+                m.num_cycles,
+                human_count(m.replicated_intervals),
+                human_count(m.shuffled_records),
+                human_count(m.comparisons),
+                human_seconds(m.simulated_seconds),
+            ]
+        )
+    print(
+        render_table(
+            "Q1 = R1 overlaps R2 and R2 overlaps R3   (16 reducers)",
+            ["algorithm", "MR cycles", "# replicated", "# pairs shuffled",
+             "# comparisons", "modelled time"],
+            rows,
+            note="all three algorithms produced identical output "
+            f"({len(reference)} tuples); see EXPERIMENTS.md for the "
+            "paper-scale runs",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

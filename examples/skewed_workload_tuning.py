@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Handling skewed interval data: diagnosis, tuning, and equi-depth
+partitioning.
+
+Real interval workloads are rarely uniform — bursty traffic concentrates
+start points.  This example walks the full toolbox:
+
+1. generate a zipf-skewed workload and *diagnose* it with the analysis
+   module (concurrency profile, Allen histogram);
+2. ask the cost-based tuner for a partition count;
+3. run RCCIS with the paper's equi-width partitioning and with this
+   library's equi-depth extension, comparing reducer load balance.
+
+Run:  python examples/skewed_workload_tuning.py
+"""
+
+from repro import IntervalJoinQuery, execute
+from repro.analysis import peak_concurrency
+from repro.core.tuning import recommend_partitions
+from repro.stats import human_seconds, load_balance, render_table
+from repro.workloads import SyntheticConfig, generate_relation
+
+
+def main() -> None:
+    config = lambda seed: SyntheticConfig(  # noqa: E731
+        n=1_200,
+        start_dist="zipf",
+        t_range=(0, 100_000),
+        length_range=(1, 150),
+        seed=seed,
+    )
+    data = {
+        name: generate_relation(name, config(seed))
+        for seed, name in enumerate(("R1", "R2", "R3"))
+    }
+    query = IntervalJoinQuery.parse(
+        [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+    )
+
+    # ----- 1. diagnose -----
+    intervals = [iv for rel in data.values() for iv in rel.intervals()]
+    print(f"peak concurrency: {peak_concurrency(intervals)} "
+          f"(of {len(intervals)} intervals — heavily clustered)")
+
+    # ----- 2. tune -----
+    report = recommend_partitions(query, data)
+    print(
+        f"tuner: use {report.best.partitions} partitions "
+        f"(predicted ~{report.best.predicted_seconds:.1f}s)"
+    )
+
+    # ----- 3. compare partitioning strategies -----
+    rows = []
+    for strategy in ("uniform", "equi_depth"):
+        result = execute(
+            query,
+            data,
+            algorithm="rccis",
+            num_partitions=report.best.partitions,
+            partition_strategy=strategy,
+        )
+        balance = load_balance(result.metrics.reducer_loads)
+        rows.append(
+            [
+                strategy,
+                len(result),
+                balance.max_load,
+                f"{balance.imbalance:.2f}",
+                f"{balance.fairness:.3f}",
+                human_seconds(result.metrics.simulated_seconds),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "RCCIS under zipf-skewed start points",
+            ["partitioning", "output", "max load", "max/mean", "Jain",
+             "modelled time"],
+            rows,
+            note="equi-depth boundaries sit at start-point quantiles, so "
+            "each reducer projects a similar share",
+        )
+    )
+    assert rows[0][1] == rows[1][1], "strategies must agree on output"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the `wheel` package, so
+PEP 660 editable installs (which build an editable wheel) fail.  This shim
+lets `pip install -e . --no-use-pep517 --no-build-isolation` — and plain
+`pip install -e .` via pip's automatic fallback on older pips — use the
+classic `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""Interval analytics beyond joins: Allen-relationship histograms and
+temporal concurrency profiles (the paper's future-work direction)."""
+
+from repro.analysis.histogram import (
+    allen_histogram,
+    concurrency_profile,
+    peak_concurrency,
+)
+
+__all__ = ["allen_histogram", "concurrency_profile", "peak_concurrency"]

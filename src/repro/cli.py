@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    The paper's synthetic interval script as a CLI: writes a relation of
+    random intervals (sizes, distributions, ranges all configurable).
+``trace``
+    Generate a synthetic packet trace profile and write its packet-train
+    intervals.
+``run``
+    Execute an interval join query over relation files, print the metric
+    summary, optionally write the output tuples.
+``histogram``
+    The exact Allen-relationship histogram between two relations.
+
+Relations are JSON-lines files (``repro.io``); single-attribute
+relations may also be plain ``start end`` text files (auto-detected by
+extension ``.txt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro import __version__
+from repro.core.executor import execute
+from repro.core.planner import ALGORITHMS, plan
+from repro.core.query import IntervalJoinQuery
+from repro.core.schema import Relation
+from repro.errors import ReproError
+from repro.io import (
+    encode_row,
+    load_intervals_text,
+    load_relation,
+    save_relation,
+)
+from repro.stats import human_count, human_seconds
+from repro.workloads import (
+    TRACE_PROFILES,
+    SyntheticConfig,
+    generate_relation,
+    trains_relation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for every ``repro`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-way interval joins on MapReduce (EDBT 2014 "
+        "reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate synthetic intervals")
+    gen.add_argument("--n", type=int, required=True, help="number of intervals")
+    gen.add_argument("--t-min", type=float, default=0.0)
+    gen.add_argument("--t-max", type=float, default=100_000.0)
+    gen.add_argument("--len-min", type=float, default=1.0)
+    gen.add_argument("--len-max", type=float, default=100.0)
+    gen.add_argument(
+        "--start-dist", default="uniform",
+        choices=["uniform", "normal", "exponential", "zipf"],
+    )
+    gen.add_argument(
+        "--length-dist", default="uniform",
+        choices=["uniform", "normal", "exponential", "zipf"],
+    )
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--name", default="R")
+    gen.add_argument("-o", "--output", required=True)
+
+    trace = sub.add_parser("trace", help="generate packet-train intervals")
+    trace.add_argument(
+        "--profile", required=True, choices=sorted(TRACE_PROFILES)
+    )
+    trace.add_argument("--gap-threshold", type=float, default=0.5)
+    trace.add_argument("--target", type=int, default=None,
+                       help="replicate the trains up to this count")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--name", default="T")
+    trace.add_argument("-o", "--output", required=True)
+
+    run = sub.add_parser("run", help="execute an interval join query")
+    run.add_argument(
+        "--relation", action="append", required=True, metavar="NAME=FILE",
+        help="bind a relation name to a file (repeatable)",
+    )
+    run.add_argument(
+        "--condition", action="append", required=True,
+        metavar="'LEFT PRED RIGHT'",
+        help="a join condition, e.g. 'R1 overlaps R2' (repeatable)",
+    )
+    run.add_argument(
+        "--algorithm", default=None, choices=sorted(ALGORITHMS),
+        help="override the planner's choice",
+    )
+    run.add_argument("--partitions", type=int, default=16)
+    run.add_argument(
+        "--partition-strategy", default="uniform",
+        choices=["uniform", "equi_depth"],
+    )
+    run.add_argument("--explain", action="store_true",
+                     help="print the plan and exit without running")
+    run.add_argument("-o", "--output", default=None,
+                     help="write output tuples as JSON lines")
+
+    hist = sub.add_parser(
+        "histogram", help="Allen-relationship histogram of two relations"
+    )
+    hist.add_argument("left")
+    hist.add_argument("right")
+
+    return parser
+
+
+def _load(path: str, name: str) -> Relation:
+    if path.endswith(".txt"):
+        return load_intervals_text(path, name)
+    return load_relation(path, name)
+
+
+def _parse_condition(text: str):
+    parts = text.split()
+    if len(parts) != 3:
+        raise ReproError(
+            f"condition {text!r} must be 'LEFT PREDICATE RIGHT'"
+        )
+    return tuple(parts)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = generate_relation(
+        args.name,
+        SyntheticConfig(
+            n=args.n,
+            start_dist=args.start_dist,
+            length_dist=args.length_dist,
+            t_range=(args.t_min, args.t_max),
+            length_range=(args.len_min, args.len_max),
+            seed=args.seed,
+        ),
+    )
+    count = save_relation(relation, args.output)
+    print(f"wrote {count} intervals to {args.output}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    relation = trains_relation(
+        args.name,
+        TRACE_PROFILES[args.profile],
+        gap_threshold=args.gap_threshold,
+        target=args.target,
+        seed=args.seed,
+    )
+    count = save_relation(relation, args.output)
+    print(
+        f"wrote {count} packet trains (profile {args.profile}) to "
+        f"{args.output}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    data: Dict[str, Relation] = {}
+    for binding in args.relation:
+        if "=" not in binding:
+            raise ReproError(f"--relation {binding!r} must be NAME=FILE")
+        name, path = binding.split("=", 1)
+        data[name] = _load(path, name)
+    query = IntervalJoinQuery.parse(
+        [_parse_condition(c) for c in args.condition]
+    )
+    if args.explain:
+        chosen = plan(query)
+        print(f"query:  {query}")
+        print(f"class:  {query.query_class.name}")
+        print(f"plan:   {chosen.reason}")
+        return 0
+    result = execute(
+        query,
+        data,
+        algorithm=args.algorithm,
+        num_partitions=args.partitions,
+        partition_strategy=args.partition_strategy,
+    )
+    m = result.metrics
+    print(f"query:      {query}")
+    print(f"class:      {query.query_class.name}")
+    print(f"algorithm:  {m.algorithm}")
+    print(f"tuples:     {len(result)}")
+    print(f"cycles:     {m.num_cycles}")
+    print(f"shuffled:   {human_count(m.shuffled_records)} pairs")
+    print(f"replicated: {human_count(m.replicated_intervals)} intervals")
+    print(f"modelled:   {human_seconds(m.simulated_seconds)}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for tuple_rows in result.tuples:
+                record = {
+                    name: encode_row(row)
+                    for name, row in zip(query.relations, tuple_rows)
+                }
+                handle.write(json.dumps(record))
+                handle.write("\n")
+        print(f"output:     {args.output}")
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    from repro.analysis import allen_histogram
+
+    left = _load(args.left, "L")
+    right = _load(args.right, "R")
+    histogram = allen_histogram(
+        left.intervals(left.attributes[0]),
+        right.intervals(right.attributes[0]),
+    )
+    total = sum(histogram.values())
+    for name in sorted(histogram, key=histogram.get, reverse=True):
+        count = histogram[name]
+        if count:
+            print(f"{name:15s} {count:12d}  ({100.0 * count / total:5.2f}%)")
+    print(f"{'total':15s} {total:12d}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "trace": _cmd_trace,
+    "run": _cmd_run,
+    "histogram": _cmd_histogram,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

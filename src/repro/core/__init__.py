@@ -1,0 +1,55 @@
+"""The paper's primary contribution: multi-way interval join processing
+on MapReduce — query model, planner, and the four algorithms plus their
+baselines."""
+
+from repro.core.executor import execute
+from repro.core.graph import Component, JoinGraph
+from repro.core.local import LocalJoiner
+from repro.core.planner import ALGORITHMS, Plan, choose_algorithm, plan
+from repro.core.query import IntervalJoinQuery, JoinCondition, QueryClass, Term
+from repro.core.reference import reference_join
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import DEFAULT_ATTRIBUTE, Relation, Row
+from repro.core.validation import (
+    ValidationError,
+    assert_equivalent,
+    validate_result,
+)
+from repro.core.tuning import (
+    ShareRecommendation,
+    TuningReport,
+    profile_data,
+    recommend_grid,
+    recommend_partitions,
+    recommend_shares,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "Component",
+    "DEFAULT_ATTRIBUTE",
+    "ExecutionMetrics",
+    "IntervalJoinQuery",
+    "JoinCondition",
+    "JoinGraph",
+    "JoinResult",
+    "LocalJoiner",
+    "Plan",
+    "QueryClass",
+    "Relation",
+    "Row",
+    "ShareRecommendation",
+    "TuningReport",
+    "profile_data",
+    "recommend_grid",
+    "recommend_partitions",
+    "recommend_shares",
+    "Term",
+    "choose_algorithm",
+    "execute",
+    "plan",
+    "reference_join",
+    "ValidationError",
+    "assert_equivalent",
+    "validate_result",
+]

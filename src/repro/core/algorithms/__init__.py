@@ -1,0 +1,33 @@
+"""The paper's join algorithms and baselines."""
+
+from repro.core.algorithms.all_replicate import AllReplicate
+from repro.core.algorithms.base import JoinAlgorithm, build_partitioning
+from repro.core.algorithms.cascade import TwoWayCascade
+from repro.core.algorithms.crossing import CrossingSetFinder
+from repro.core.algorithms.gen_matrix import (
+    AllMatrix,
+    AllSeqMatrix,
+    GenMatrix,
+    GridSpec,
+)
+from repro.core.algorithms.hybrid import FCTS, FSTC
+from repro.core.algorithms.pasm import PASM
+from repro.core.algorithms.rccis import RCCIS
+from repro.core.algorithms.two_way import TwoWayJoin
+
+__all__ = [
+    "AllMatrix",
+    "AllReplicate",
+    "AllSeqMatrix",
+    "CrossingSetFinder",
+    "FCTS",
+    "FSTC",
+    "GenMatrix",
+    "GridSpec",
+    "JoinAlgorithm",
+    "PASM",
+    "RCCIS",
+    "TwoWayCascade",
+    "TwoWayJoin",
+    "build_partitioning",
+]

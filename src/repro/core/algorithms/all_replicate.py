@@ -1,0 +1,154 @@
+"""All-Replicate — the naive single-cycle baseline (Section 6).
+
+Projects a relation provably maximal under the query's less-than-orders
+(every output tuple's right-most interval comes from it) and replicates
+every other relation; when no relation is provably maximal all relations
+are replicated.  Reducer ``p`` joins what it receives and emits the tuples
+whose right-most member starts in ``p``, which makes the output
+exactly-once even when everything is replicated.
+
+Works for any single-attribute query (colocation, sequence or hybrid) —
+at a communication cost the paper's efficient algorithms exist to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import PlanningError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.algorithms.rccis import JoinReducer
+from repro.core.query import IntervalJoinQuery
+from repro.core.results import JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper
+
+__all__ = ["AllReplicate", "maximal_relations"]
+
+
+def maximal_relations(query: IntervalJoinQuery) -> List[str]:
+    """Relations provably right-most under the enforced less-than orders.
+
+    ``R`` qualifies when every other relation is transitively enforced to
+    start no later than ``R`` — then in every output tuple an ``R`` row is
+    (one of) the right-most member(s), so projecting ``R`` is safe.
+    """
+    # successor[a] = relations enforced to start at-or-after a.
+    reachable: Dict[str, Set[str]] = {
+        name: {name} for name in query.relations
+    }
+    edges: List[Tuple[str, str]] = []
+    for cond in query.conditions:
+        if cond.predicate.enforces_left_first():
+            edges.append((cond.left.relation, cond.right.relation))
+        if cond.predicate.enforces_right_first():
+            edges.append((cond.right.relation, cond.left.relation))
+    changed = True
+    while changed:
+        changed = False
+        for a, b in edges:
+            update = reachable[a] | reachable[b]
+            if update != reachable[a]:
+                reachable[a] = update
+                changed = True
+    # R is maximal when R is reachable (<=-wise) from every relation.
+    out = [
+        name
+        for name in query.relations
+        if all(name in reachable[other] for other in query.relations)
+    ]
+    return out
+
+
+class _ReplicateMapper(Mapper):
+    """Replicates one relation's rows to the start partition onward."""
+
+    def __init__(
+        self, relation: str, attribute: str, partitioning: Partitioning
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+
+    def map(self, record: Row, context: MapContext) -> None:
+        targets = list(
+            self.partitioning.replicate(record.interval(self.attribute))
+        )
+        context.counters.increment("join", "replicated_intervals")
+        context.counters.increment("join", "replicated_pairs", len(targets))
+        for index in targets:
+            context.emit(index, (self.relation, record))
+
+
+class _ProjectMapper(Mapper):
+    """Projects one relation's rows onto their start partition."""
+
+    def __init__(
+        self, relation: str, attribute: str, partitioning: Partitioning
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+
+    def map(self, record: Row, context: MapContext) -> None:
+        index = self.partitioning.project(record.interval(self.attribute))
+        context.emit(index, (self.relation, record))
+
+
+class AllReplicate(JoinAlgorithm):
+    """The replicate-everything single-cycle baseline."""
+
+    name = "all_replicate"
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        if not query.is_single_attribute:
+            raise PlanningError(
+                "All-Replicate handles single-attribute queries; use "
+                "Gen-Matrix for multi-attribute ones"
+            )
+        file_system, pipeline, parts = self._setup(
+            query, data, num_partitions, fs, executor,
+            partitioning, partition_strategy,
+        )
+        attributes = {
+            name: query.attributes_of(name)[0] for name in query.relations
+        }
+        maximal = maximal_relations(query)
+        projected = maximal[0] if maximal else None
+
+        inputs = []
+        for name in query.relations:
+            if name == projected:
+                mapper: Mapper = _ProjectMapper(name, attributes[name], parts)
+            else:
+                mapper = _ReplicateMapper(name, attributes[name], parts)
+            inputs.append(InputSpec(input_path(name), mapper))
+
+        job = JobConf(
+            name="all-replicate",
+            inputs=inputs,
+            reducer=JoinReducer(query, attributes, parts),
+            output="allrep/output",
+            num_reduce_tasks=num_partitions,
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(job)
+
+        tuples = list(file_system.read_dir("allrep/output"))
+        return self._finish(query, pipeline, cost_model, tuples)

@@ -1,0 +1,164 @@
+"""Shared plumbing for join algorithms.
+
+Every algorithm implements :class:`JoinAlgorithm`: given a query, the data,
+and sizing knobs it runs one or more simulated MapReduce jobs and returns a
+:class:`~repro.core.results.JoinResult` whose metrics carry the counters the
+paper's evaluation tables report.
+
+Conventions used by all implementations:
+
+* relations are written to the file system as one file per relation,
+  ``input/<name>``, holding the raw :class:`~repro.core.schema.Row` records;
+* intermediate values are ``(relation_name, row)`` pairs;
+* user counters: ``join:replicated_intervals`` (distinct intervals chosen
+  for replication), ``join:replicated_pairs`` (key-value pairs produced by
+  replication), ``work:comparisons`` (predicate evaluations inside
+  reducers).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.core.query import IntervalJoinQuery
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem, InMemoryFileSystem
+from repro.mapreduce.pipeline import Pipeline
+
+__all__ = ["JoinAlgorithm", "build_partitioning", "input_path", "write_inputs"]
+
+
+def input_path(relation: str) -> str:
+    """The conventional file-system path of a relation's input file."""
+    return f"input/{relation}"
+
+
+def write_inputs(
+    fs: FileSystem, query: IntervalJoinQuery, data: Mapping[str, Relation]
+) -> None:
+    """Write every query relation's rows to the file system."""
+    query.validate_against(data)
+    for name in query.relations:
+        fs.write(input_path(name), data[name].rows, overwrite=True)
+
+
+def build_partitioning(
+    query: IntervalJoinQuery,
+    data: Mapping[str, Relation],
+    parts: int,
+    strategy: str = "uniform",
+) -> Partitioning:
+    """A partitioning of the global time range covering all query attributes.
+
+    ``strategy`` is ``"uniform"`` (the paper's equi-width setup) or
+    ``"equi_depth"`` (boundaries at start-point quantiles; ablation A2).
+    """
+    starts: List[float] = []
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    for term in query.terms:
+        relation = data[term.relation]
+        for row in relation.rows:
+            iv = row.interval(term.attribute)
+            starts.append(iv.start)
+            lo = iv.start if lo is None else min(lo, iv.start)
+            hi = iv.end if hi is None else max(hi, iv.end)
+    if lo is None or hi is None:
+        # No data at all: any non-degenerate range works.
+        lo, hi = 0.0, 1.0
+    if hi <= lo:
+        hi = lo + 1.0
+    if strategy == "uniform":
+        # Pad the right edge so the maximal start point projects inside.
+        span = hi - lo
+        return Partitioning.uniform(lo, hi + span * 1e-9 + 1e-9, parts)
+    if strategy == "equi_depth":
+        return Partitioning.equi_depth(starts, parts)
+    raise PlanningError(f"unknown partitioning strategy {strategy!r}")
+
+
+class JoinAlgorithm(abc.ABC):
+    """Interface of all join execution strategies."""
+
+    #: Short name used in metrics, planning, and benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        """Execute the query and return tuples plus metrics.
+
+        Parameters
+        ----------
+        query, data:
+            The join query and its relations.
+        num_partitions:
+            Partitions of the time range (1-dim algorithms) or per grid
+            dimension (matrix algorithms).
+        fs:
+            File system to run against (fresh in-memory one by default).
+        executor:
+            MapReduce executor, ``"serial"`` or ``"threads"``.
+        cost_model:
+            Converts counters to modelled seconds.
+        partitioning:
+            Externally supplied partitioning (overrides
+            ``num_partitions``/``partition_strategy``).
+        partition_strategy:
+            ``"uniform"`` or ``"equi_depth"``.
+        """
+
+    # ------------------------------------------------------------------
+    def _setup(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        num_partitions: int,
+        fs: Optional[FileSystem],
+        executor: str,
+        partitioning: Optional[Partitioning],
+        partition_strategy: str,
+    ) -> Tuple[FileSystem, Pipeline, Partitioning]:
+        """Common preamble: file system, pipeline, partitioning, inputs."""
+        if num_partitions < 1:
+            raise PlanningError("num_partitions must be >= 1")
+        file_system = fs if fs is not None else InMemoryFileSystem()
+        pipeline = Pipeline(file_system, executor=executor)
+        if partitioning is None:
+            partitioning = build_partitioning(
+                query, data, num_partitions, strategy=partition_strategy
+            )
+        write_inputs(file_system, query, data)
+        return file_system, pipeline, partitioning
+
+    def _finish(
+        self,
+        query: IntervalJoinQuery,
+        pipeline: Pipeline,
+        cost_model: CostModel,
+        tuples: Sequence[Tuple[Row, ...]],
+        consistent_reducers: Optional[int] = None,
+        total_reducers: Optional[int] = None,
+    ) -> JoinResult:
+        """Common postamble: fold pipeline counters into a result."""
+        metrics = ExecutionMetrics.from_pipeline(
+            self.name, pipeline.result, cost_model
+        )
+        metrics.consistent_reducers = consistent_reducers
+        metrics.total_reducers = total_reducers
+        return JoinResult(query, tuples, metrics)

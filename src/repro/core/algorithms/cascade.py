@@ -1,0 +1,553 @@
+"""2-way Cascade — the multi-cycle baseline (Section 6).
+
+Processes a multi-way query as a series of 2-way joins, one MapReduce job
+each, materialising every intermediate result on the (simulated)
+distributed file system — which is exactly why the paper finds it slow:
+each cycle re-reads and re-shuffles increasingly large intermediates.
+
+Faithful to the paper's experimental setup (Section 7.1), each step's
+routing follows the step predicate's kind:
+
+* a **colocation** routing condition uses the Figure-1 operators
+  (split the earlier side, project the later);
+* a **sequence** routing condition uses a *2-dimensional All-Matrix*: the
+  intermediate result and the new relation each form one grid dimension
+  and only consistent cells receive data ("Both 2-way joins in 2-way Cd
+  are executed using 2D versions of All-Matrix").
+
+Intermediate records are *partial tuples* — tuples of ``(relation, row)``
+pairs for the relations bound so far.  Every condition joining the new
+relation to any bound relation is evaluated in the step's reducer, so the
+cascade is correct for arbitrary (including cyclic) join graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.query import IntervalJoinQuery, JoinCondition
+from repro.core.results import JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.allen import MapOperator
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+
+__all__ = ["TwoWayCascade"]
+
+#: A partial tuple: ``((relation, row), ...)`` for the bound relations.
+PartialTuple = Tuple[Tuple[str, Row], ...]
+
+_NEW_SIDE = "__new__"
+_BOUND_SIDE = "__bound__"
+
+
+def _binding_order(query: IntervalJoinQuery) -> List[str]:
+    """A connected relation order (each new relation shares a condition
+    with an already-bound one)."""
+    remaining = list(query.relations)
+    order = [remaining.pop(0)]
+    while remaining:
+        for candidate in list(remaining):
+            touches_bound = any(
+                (
+                    cond.left.relation == candidate
+                    and cond.right.relation in order
+                )
+                or (
+                    cond.right.relation == candidate
+                    and cond.left.relation in order
+                )
+                for cond in query.conditions
+            )
+            if touches_bound:
+                remaining.remove(candidate)
+                order.append(candidate)
+                break
+        else:  # pragma: no cover - queries are validated connected
+            order.append(remaining.pop(0))
+    return order
+
+
+def _step_conditions(
+    query: IntervalJoinQuery, bound: Sequence[str], new: str
+) -> List[JoinCondition]:
+    """All conditions joining ``new`` to the bound set."""
+    bound_set = set(bound)
+    return [
+        cond
+        for cond in query.conditions
+        if (cond.left.relation == new and cond.right.relation in bound_set)
+        or (cond.right.relation == new and cond.left.relation in bound_set)
+    ]
+
+
+def _routing_condition(step_conditions: Sequence[JoinCondition]) -> JoinCondition:
+    """Prefer a colocation condition for routing (cheaper: split beats
+    replicate / grid fan-out)."""
+    for cond in step_conditions:
+        if cond.is_colocation:
+            return cond
+    return step_conditions[0]
+
+
+class _RowSideMapper(Mapper):
+    """Route a base relation's rows with one Figure-1 operator."""
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        operator: MapOperator,
+        side: str,
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+        self.operator = operator
+        self.side = side
+
+    def map(self, record: Row, context: MapContext) -> None:
+        interval = record.interval(self.attribute)
+        payload = (self.side, (self.relation, record))
+        if self.operator is MapOperator.PROJECT:
+            context.emit(self.partitioning.project(interval), payload)
+            return
+        if self.operator is MapOperator.SPLIT:
+            targets = list(self.partitioning.split(interval))
+        else:
+            targets = list(self.partitioning.replicate(interval))
+            context.counters.increment("join", "replicated_intervals")
+            context.counters.increment("join", "replicated_pairs", len(targets))
+        for index in targets:
+            context.emit(index, payload)
+
+
+class _PartialSideMapper(Mapper):
+    """Route partial tuples by one bound member's interval."""
+
+    def __init__(
+        self,
+        member_relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        operator: MapOperator,
+    ) -> None:
+        self.member_relation = member_relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+        self.operator = operator
+
+    def _member_interval(self, record: PartialTuple):
+        for relation, row in record:
+            if relation == self.member_relation:
+                return row.interval(self.attribute)
+        raise PlanningError(
+            f"partial tuple missing member {self.member_relation!r}"
+        )
+
+    def map(self, record: PartialTuple, context: MapContext) -> None:
+        interval = self._member_interval(record)
+        payload = (_BOUND_SIDE, record)
+        if self.operator is MapOperator.PROJECT:
+            context.emit(self.partitioning.project(interval), payload)
+            return
+        if self.operator is MapOperator.SPLIT:
+            targets = list(self.partitioning.split(interval))
+        else:
+            targets = list(self.partitioning.replicate(interval))
+            context.counters.increment("join", "replicated_intervals")
+            context.counters.increment("join", "replicated_pairs", len(targets))
+        for index in targets:
+            context.emit(index, payload)
+
+
+class _GridRowMapper(Mapper):
+    """Sequence step, new-relation side: pin this side's grid dimension."""
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        dim: int,
+        cells: Sequence[Tuple[int, int]],
+        side: str,
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+        self.dim = dim
+        self.by_coord: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for cell in cells:
+            self.by_coord[cell[dim]].append(cell)
+        self.side = side
+
+    def map(self, record: Row, context: MapContext) -> None:
+        q = self.partitioning.project(record.interval(self.attribute))
+        for cell in self.by_coord.get(q, ()):
+            context.emit(cell, (self.side, (self.relation, record)))
+
+
+class _GridPartialMapper(Mapper):
+    """Sequence step, intermediate side: pin dimension by member start."""
+
+    def __init__(
+        self,
+        member_relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        dim: int,
+        cells: Sequence[Tuple[int, int]],
+    ) -> None:
+        self.member_relation = member_relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+        self.dim = dim
+        self.by_coord: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for cell in cells:
+            self.by_coord[cell[dim]].append(cell)
+
+    def map(self, record: PartialTuple, context: MapContext) -> None:
+        for relation, row in record:
+            if relation == self.member_relation:
+                interval = row.interval(self.attribute)
+                break
+        else:  # pragma: no cover - structurally impossible
+            raise PlanningError("partial tuple missing routing member")
+        q = self.partitioning.project(interval)
+        for cell in self.by_coord.get(q, ()):
+            context.emit(cell, (_BOUND_SIDE, record))
+
+
+class _StepJoinReducer(Reducer):
+    """Join partial tuples (or first-relation rows) with the new relation,
+    checking every step condition; exactly-once via the projected /
+    pinned side.
+
+    Candidates are generated output-sensitively with a plane sweep on the
+    routing condition (the cascade's cost should come from re-reading and
+    re-shuffling intermediates, not from a needlessly quadratic local
+    join), then filtered by the remaining step conditions.
+    """
+
+    def __init__(
+        self,
+        new_relation: str,
+        routing: JoinCondition,
+        conditions: Sequence[JoinCondition],
+        attributes: Mapping[str, str],
+    ) -> None:
+        self.new_relation = new_relation
+        self.routing = routing
+        self.conditions = [c for c in conditions if c is not routing]
+        self.attributes = dict(attributes)
+        if routing.left.relation == new_relation:
+            self._member = routing.right.relation
+            self._member_attr = routing.right.attribute
+            self._new_attr = routing.left.attribute
+            self._new_is_left = True
+        else:
+            self._member = routing.left.relation
+            self._member_attr = routing.left.attribute
+            self._new_attr = routing.right.attribute
+            self._new_is_left = False
+
+    def reduce(
+        self, key: Hashable, values: List[Tuple[str, object]], context: ReduceContext
+    ) -> None:
+        partials: List[Tuple[object, PartialTuple]] = []
+        new_rows: List[Tuple[object, Row]] = []
+        for side, payload in values:
+            if side == _BOUND_SIDE:
+                partial: PartialTuple = payload  # type: ignore[assignment]
+                member_row = dict(partial)[self._member]
+                partials.append(
+                    (member_row.interval(self._member_attr), partial)
+                )
+            else:
+                _, row = payload  # type: ignore[misc]
+                new_rows.append((row.interval(self._new_attr), row))
+
+        from repro.intervals.sweep import before_pairs, intersecting_pairs
+
+        predicate = self.routing.predicate
+        if self._new_is_left:
+            left_items, right_items = new_rows, partials
+        else:
+            left_items, right_items = partials, new_rows
+
+        if predicate.is_colocation:
+            raw = intersecting_pairs(left_items, right_items)
+        elif predicate.name == "before":
+            raw = before_pairs(left_items, right_items)
+        else:  # after
+            raw = (
+                (litem, ritem)
+                for ritem, litem in before_pairs(right_items, left_items)
+            )
+
+        def candidates():
+            # Count every candidate the sweep examines, mirroring how
+            # LocalJoiner charges index-probe candidates, so the cost
+            # model compares algorithms on equal terms.
+            for litem, ritem in raw:
+                context.counters.increment("work", "comparisons")
+                if predicate.holds(litem[0], ritem[0]):
+                    if self._new_is_left:
+                        yield ritem, litem
+                    else:
+                        yield litem, ritem
+
+        for (_, partial), (_, row) in candidates():
+            members = dict(partial)
+            members[self.new_relation] = row
+            ok = True
+            for cond in self.conditions:
+                context.counters.increment("work", "comparisons")
+                left = members[cond.left.relation].interval(
+                    cond.left.attribute
+                )
+                right = members[cond.right.relation].interval(
+                    cond.right.attribute
+                )
+                if not cond.predicate.holds(left, right):
+                    ok = False
+                    break
+            if ok:
+                context.emit(partial + ((self.new_relation, row),))
+
+
+class _WrapMapper(Mapper):
+    """Wrap a base relation's rows as 1-member partial tuples (step 0
+    bound side)."""
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        operator: MapOperator,
+    ) -> None:
+        self._inner = _PartialSideMapper(
+            relation, attribute, partitioning, operator
+        )
+        self.relation = relation
+
+    def map(self, record: Row, context: MapContext) -> None:
+        self._inner.map(((self.relation, record),), context)
+
+
+class TwoWayCascade(JoinAlgorithm):
+    """The paper's cascade-of-2-way-joins baseline."""
+
+    name = "two_way_cascade"
+
+    def __init__(self, grid_parts: Optional[int] = None) -> None:
+        #: per-dimension partitions of the 2-D grid used for sequence
+        #: steps; default sized so consistent cells ~ num_partitions.
+        self.grid_parts = grid_parts
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        if not query.is_single_attribute:
+            raise PlanningError(
+                "TwoWayCascade handles single-attribute queries"
+            )
+        file_system, pipeline, parts = self._setup(
+            query, data, num_partitions, fs, executor,
+            partitioning, partition_strategy,
+        )
+        attributes = {
+            name: query.attributes_of(name)[0] for name in query.relations
+        }
+        order = _binding_order(query)
+        grid_o = self.grid_parts or max(
+            2, math.ceil(math.sqrt(2 * num_partitions))
+        )
+        grid_partitioning = (
+            parts
+            if len(parts) == grid_o
+            else Partitioning.uniform(parts.t_min, parts.t_max, grid_o)
+        )
+
+        current_path: Optional[str] = None
+        for step, new in enumerate(order[1:], start=1):
+            bound = order[:step]
+            step_conditions = _step_conditions(query, bound, new)
+            routing = _routing_condition(step_conditions)
+            output = f"cascade/step-{step:02d}"
+            if routing.is_colocation:
+                job = self._colocation_step(
+                    query, bound, new, routing, step_conditions,
+                    attributes, parts, current_path, output, num_partitions,
+                )
+            else:
+                job = self._sequence_step(
+                    query, bound, new, routing, step_conditions,
+                    attributes, grid_partitioning, grid_o,
+                    current_path, output,
+                )
+            pipeline.run(job)
+            current_path = output
+
+        raw = list(file_system.read_dir(current_path or ""))
+        by_relation = {name: index for index, name in enumerate(query.relations)}
+        tuples = []
+        for partial in raw:
+            ordered: List[Optional[Row]] = [None] * len(query.relations)
+            for relation, row in partial:
+                ordered[by_relation[relation]] = row
+            tuples.append(tuple(ordered))
+        return self._finish(query, pipeline, cost_model, tuples)
+
+    # ------------------------------------------------------------------
+    def _bound_member(self, routing: JoinCondition, new: str) -> Tuple[str, str, bool]:
+        """(bound relation, its attribute, bound_is_left)."""
+        if routing.left.relation == new:
+            return routing.right.relation, routing.right.attribute, False
+        return routing.left.relation, routing.left.attribute, True
+
+    def _colocation_step(
+        self,
+        query: IntervalJoinQuery,
+        bound: Sequence[str],
+        new: str,
+        routing: JoinCondition,
+        step_conditions: Sequence[JoinCondition],
+        attributes: Mapping[str, str],
+        parts: Partitioning,
+        current_path: Optional[str],
+        output: str,
+        num_partitions: int,
+    ) -> JobConf:
+        member, member_attr, bound_is_left = self._bound_member(routing, new)
+        bound_op = (
+            routing.predicate.left_operator
+            if bound_is_left
+            else routing.predicate.right_operator
+        )
+        new_op = (
+            routing.predicate.right_operator
+            if bound_is_left
+            else routing.predicate.left_operator
+        )
+        if current_path is None:
+            bound_mapper: Mapper = _WrapMapper(member, member_attr, parts, bound_op)
+            bound_input = input_path(member)
+        else:
+            bound_mapper = _PartialSideMapper(member, member_attr, parts, bound_op)
+            bound_input = current_path
+        new_attr = (
+            routing.left.attribute if not bound_is_left else routing.right.attribute
+        )
+        return JobConf(
+            name=f"cascade-{new}",
+            inputs=[
+                InputSpec(bound_input, bound_mapper),
+                InputSpec(
+                    input_path(new),
+                    _RowSideMapper(new, new_attr, parts, new_op, _NEW_SIDE),
+                ),
+            ],
+            reducer=_StepJoinReducer(new, routing, step_conditions, attributes),
+            output=output,
+            num_reduce_tasks=num_partitions,
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+
+    def _sequence_step(
+        self,
+        query: IntervalJoinQuery,
+        bound: Sequence[str],
+        new: str,
+        routing: JoinCondition,
+        step_conditions: Sequence[JoinCondition],
+        attributes: Mapping[str, str],
+        grid_partitioning: Partitioning,
+        grid_o: int,
+        current_path: Optional[str],
+        output: str,
+    ) -> JobConf:
+        member, member_attr, bound_is_left = self._bound_member(routing, new)
+        # Dimension 0 = bound side, 1 = new side.  Consistency: the
+        # enforced-earlier side's coordinate <= the later side's.
+        bound_first = (
+            routing.predicate.enforces_left_first()
+            if bound_is_left
+            else routing.predicate.enforces_right_first()
+        )
+        cells: List[Tuple[int, int]] = [
+            (i, j)
+            for i in range(grid_o)
+            for j in range(grid_o)
+            if (i <= j if bound_first else j <= i)
+        ]
+        if current_path is None:
+            bound_mapper: Mapper = _GridWrapMapper(
+                member, member_attr, grid_partitioning, 0, cells
+            )
+            bound_input = input_path(member)
+        else:
+            bound_mapper = _GridPartialMapper(
+                member, member_attr, grid_partitioning, 0, cells
+            )
+            bound_input = current_path
+        new_attr = (
+            routing.left.attribute if not bound_is_left else routing.right.attribute
+        )
+        return JobConf(
+            name=f"cascade-{new}",
+            inputs=[
+                InputSpec(bound_input, bound_mapper),
+                InputSpec(
+                    input_path(new),
+                    _GridRowMapper(
+                        new, new_attr, grid_partitioning, 1, cells, _NEW_SIDE
+                    ),
+                ),
+            ],
+            reducer=_StepJoinReducer(new, routing, step_conditions, attributes),
+            output=output,
+            num_reduce_tasks=max(1, len(cells)),
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+
+
+class _GridWrapMapper(Mapper):
+    """Step-0 bound side of a sequence step: wrap rows as partial tuples
+    and pin the grid dimension."""
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        dim: int,
+        cells: Sequence[Tuple[int, int]],
+    ) -> None:
+        self._inner = _GridPartialMapper(
+            relation, attribute, partitioning, dim, cells
+        )
+        self.relation = relation
+
+    def map(self, record: Row, context: MapContext) -> None:
+        self._inner.map(((self.relation, record),), context)

@@ -1,0 +1,521 @@
+"""Finding consistent-and-crossing interval sets (the heart of RCCIS).
+
+Round one of RCCIS must decide, for every interval ``u`` starting inside a
+partition ``p``, whether some interval-set containing ``u`` is *consistent*
+(condition C1, Section 5.2), *crosses* ``p`` (condition C2, Section 5.3),
+and can actually combine with a **later** partial tuple — only then does
+replicating ``u`` rightward ever pay off.
+
+The last clause deserves explanation.  Definition 5.3 applies crossing
+obligations per boundary edge, so a set whose relation-set covers *all*
+query relations has no obligations and "crosses" vacuously; likewise a set
+whose absent relations are all enforced to start no later than the present
+ones can only ever extend *leftward*.  The paper handles the first case by
+remark ("note that an output tuple is not a crossing-set") and leaves the
+second implicit; both are captured exactly by one structural condition we
+call the **late escape**:
+
+    some absent relation A has no enforced less-than-order path
+    ``A <= ... <= X`` to any present relation X.
+
+If every absent relation is order-dominated by the present set, every
+completion's member starts are bounded by the present members' starts, so
+the completed tuple's right-most member starts inside ``p`` and the tuple
+is computed at ``p`` itself, where splitting already colocates everything
+— no replication required.  Conversely (see DESIGN.md) any output tuple
+whose right-most member starts after ``p`` induces, at ``p``, a presence
+pattern with a late escape, so completeness is preserved.  This is what
+makes RCCIS's replication counts tiny (the paper's Table 1).
+
+Solving
+-------
+Membership is decided per *presence pattern*: for each subset of relations
+taken as present (the candidate set's relation-set), the boundary edges to
+absent relations become unary constraints (the B1/B2 crossing rules) and
+the internal edges binary Allen constraints.  Patterns without a late
+escape are skipped.  For each surviving pattern the CSP restricted to the
+present relations is solved exactly: acyclic constraint graphs by two-pass
+directional arc consistency (complete on trees), cyclic ones by
+backtracking.  Support tests are vectorised with numpy and shared across
+patterns.  The number of patterns is ``2^m - 1`` with ``m`` the number of
+query relations — trivially small for real queries (the paper's maximum
+is five).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.intervals.allen import AllenPredicate
+from repro.intervals.interval import Interval
+from repro.intervals.partitioning import Partitioning
+
+__all__ = ["CrossingSetFinder", "has_late_escape"]
+
+#: conditions keyed by relation name, as produced by
+#: :meth:`repro.core.query.IntervalJoinQuery.conditions_as_triples`.
+Condition = Tuple[str, AllenPredicate, str]
+
+
+def _predicate_matrix(
+    predicate: AllenPredicate,
+    s1: np.ndarray,
+    e1: np.ndarray,
+    s2: np.ndarray,
+    e2: np.ndarray,
+) -> np.ndarray:
+    """Boolean matrix ``M[i, j] = predicate(left_i, right_j)``.
+
+    Vectorised mirror of the truth functions in
+    :mod:`repro.intervals.allen` (kept in lockstep by a property test).
+    """
+    a_s = s1[:, None]
+    a_e = e1[:, None]
+    b_s = s2[None, :]
+    b_e = e2[None, :]
+    name = predicate.name
+    if name == "before":
+        return a_e < b_s
+    if name == "after":
+        return b_e < a_s
+    if name == "meets":
+        return (a_e == b_s) & (a_s < b_s) & (b_s < b_e)
+    if name == "met_by":
+        return (b_e == a_s) & (b_s < a_s) & (a_s < a_e)
+    if name == "overlaps":
+        return (a_s < b_s) & (b_s < a_e) & (a_e < b_e)
+    if name == "overlapped_by":
+        return (b_s < a_s) & (a_s < b_e) & (b_e < a_e)
+    if name == "starts":
+        return (a_s == b_s) & (a_e < b_e)
+    if name == "started_by":
+        return (b_s == a_s) & (b_e < a_e)
+    if name == "during":
+        return (b_s < a_s) & (a_e < b_e)
+    if name == "contains":
+        return (a_s < b_s) & (b_e < a_e)
+    if name == "finishes":
+        return (a_e == b_e) & (b_s < a_s)
+    if name == "finished_by":
+        return (b_e == a_e) & (a_s < b_s)
+    if name == "equals":
+        return (a_s == b_s) & (a_e == b_e)
+    raise AssertionError(f"unhandled predicate {name}")  # pragma: no cover
+
+
+def order_reachability(
+    relations: Sequence[str], conditions: Sequence[Condition]
+) -> Dict[str, Set[str]]:
+    """``reach[A]`` = relations enforced (transitively) to start at or
+    after ``A`` — i.e. all X with an order path ``A <= ... <= X``.
+    ``A`` itself is not included."""
+    successors: Dict[str, Set[str]] = {name: set() for name in relations}
+    for left, predicate, right in conditions:
+        if predicate.enforces_left_first():
+            successors[left].add(right)
+        if predicate.enforces_right_first():
+            successors[right].add(left)
+    reach: Dict[str, Set[str]] = {}
+    for name in relations:
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for nxt in successors[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        reach[name] = seen
+    return reach
+
+
+def has_late_escape(
+    present: FrozenSet[str],
+    relations: Sequence[str],
+    reach: Mapping[str, Set[str]],
+) -> bool:
+    """Whether some absent relation can contribute an interval starting
+    after the partition (no order path into the present set)."""
+    for name in relations:
+        if name in present:
+            continue
+        if not (reach[name] & present):
+            return True
+    return False
+
+
+class CrossingSetFinder:
+    """Solves the replication decision for one partition of one query.
+
+    Parameters
+    ----------
+    relations:
+        The component's relation names (CSP variables).
+    conditions:
+        The component-internal conditions (colocation predicates in the
+        paper's setting; the finder is predicate-agnostic).
+    partitioning, partition_index:
+        The partition whose crossing sets are sought.
+    """
+
+    #: Guard against pathological queries: 2^m patterns.
+    MAX_RELATIONS = 16
+
+    def __init__(
+        self,
+        relations: Sequence[str],
+        conditions: Sequence[Condition],
+        partitioning: Partitioning,
+        partition_index: int,
+    ) -> None:
+        if len(relations) > self.MAX_RELATIONS:
+            raise ValueError(
+                f"crossing-set search over {len(relations)} relations "
+                "would enumerate too many presence patterns"
+            )
+        self.relations = list(relations)
+        relation_set = set(relations)
+        self.conditions = [
+            (left, pred, right)
+            for left, pred, right in conditions
+            if left in relation_set and right in relation_set
+        ]
+        self.partitioning = partitioning
+        self.partition_index = partition_index
+        self._adjacency: Dict[str, List[int]] = defaultdict(list)
+        for index, (left, _, right) in enumerate(self.conditions):
+            self._adjacency[left].append(index)
+            self._adjacency[right].append(index)
+        self._reach = order_reachability(self.relations, self.conditions)
+
+    # ------------------------------------------------------------------
+    def replicable(
+        self, intervals_by_relation: Mapping[str, Sequence[Interval]]
+    ) -> Dict[str, np.ndarray]:
+        """For each relation, a boolean mask over its intervals: True when
+        the interval belongs to some consistent crossing set with a late
+        escape.
+
+        ``intervals_by_relation`` must hold the intervals *intersecting*
+        the partition (the reducer's split input); the caller restricts
+        the returned mask to intervals *starting* in the partition before
+        flagging.
+        """
+        starts: Dict[str, np.ndarray] = {}
+        ends: Dict[str, np.ndarray] = {}
+        out: Dict[str, np.ndarray] = {}
+        for name in self.relations:
+            ivs = list(intervals_by_relation.get(name, ()))
+            starts[name] = np.array([iv.start for iv in ivs], dtype=float)
+            ends[name] = np.array([iv.end for iv in ivs], dtype=float)
+            out[name] = np.zeros(len(ivs), dtype=bool)
+
+        crossing_left, crossing_right = self._crossing_masks(starts, ends)
+        support = {
+            index: _predicate_matrix(
+                cond[1], starts[cond[0]], ends[cond[0]],
+                starts[cond[2]], ends[cond[2]],
+            )
+            for index, cond in enumerate(self.conditions)
+        }
+
+        for r in range(1, len(self.relations) + 1):
+            for present_tuple in itertools.combinations(self.relations, r):
+                present = frozenset(present_tuple)
+                if not has_late_escape(present, self.relations, self._reach):
+                    continue
+                if any(len(out[name]) == 0 for name in present):
+                    continue
+                feasible = self._solve_pattern(
+                    present, out, crossing_left, crossing_right, support
+                )
+                if feasible is None:
+                    continue
+                for name, mask in feasible.items():
+                    out[name] |= mask
+        return out
+
+    # ------------------------------------------------------------------
+    def _crossing_masks(
+        self, starts: Dict[str, np.ndarray], ends: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        part = self.partitioning.partition_interval(self.partition_index)
+        last = self.partition_index == len(self.partitioning) - 1
+        first = self.partition_index == 0
+        crossing_left: Dict[str, np.ndarray] = {}
+        crossing_right: Dict[str, np.ndarray] = {}
+        for name in self.relations:
+            left = starts[name] < part.start
+            # The end point lies in a following partition exactly when it
+            # reaches the right boundary (partitions are half-open).
+            right = ends[name] >= part.end
+            if first:
+                left = np.zeros_like(left)
+            if last:
+                right = np.zeros_like(right)
+            crossing_left[name] = left
+            crossing_right[name] = right
+        return crossing_left, crossing_right
+
+    def _unary_mask(
+        self,
+        name: str,
+        present: FrozenSet[str],
+        domains: Mapping[str, np.ndarray],
+        crossing_left: Mapping[str, np.ndarray],
+        crossing_right: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """The B1/B2 crossing obligations toward absent partners, as a
+        mask over ``name``'s intervals."""
+        mask = np.ones(len(domains[name]), dtype=bool)
+        for index in self._adjacency[name]:
+            left, predicate, right = self.conditions[index]
+            other = right if left == name else left
+            if other in present or other == name:
+                continue
+            i_am_left = left == name
+            if predicate.enforces_left_first():
+                mask &= (
+                    crossing_right[name] if i_am_left else crossing_left[name]
+                )
+            if predicate.enforces_right_first():
+                mask &= (
+                    crossing_left[name] if i_am_left else crossing_right[name]
+                )
+        return mask
+
+    # ------------------------------------------------------------------
+    def _solve_pattern(
+        self,
+        present: FrozenSet[str],
+        domains: Mapping[str, np.ndarray],
+        crossing_left: Mapping[str, np.ndarray],
+        crossing_right: Mapping[str, np.ndarray],
+        support: Mapping[int, np.ndarray],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Feasible-value masks for one presence pattern, or None when the
+        pattern admits no satisfying assignment."""
+        unary = {
+            name: self._unary_mask(
+                name, present, domains, crossing_left, crossing_right
+            )
+            for name in present
+        }
+        if any(not unary[name].any() for name in present):
+            return None
+
+        internal = [
+            index
+            for index, (left, _, right) in enumerate(self.conditions)
+            if left in present and right in present
+        ]
+        components = self._present_components(present, internal)
+        feasible: Dict[str, np.ndarray] = {}
+        for component_names, component_edges in components:
+            solved = self._solve_component(
+                component_names, component_edges, unary, support
+            )
+            if solved is None:
+                return None
+            feasible.update(solved)
+        return feasible
+
+    def _present_components(
+        self, present: FrozenSet[str], internal: List[int]
+    ) -> List[Tuple[List[str], List[int]]]:
+        """Connected components of the pattern's internal constraint
+        graph (cross-component members are mutually unconstrained)."""
+        parent = {name: name for name in present}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for index in internal:
+            left, _, right = self.conditions[index]
+            ra, rb = find(left), find(right)
+            if ra != rb:
+                parent[ra] = rb
+
+        groups: Dict[str, List[str]] = defaultdict(list)
+        for name in sorted(present):
+            groups[find(name)].append(name)
+        out = []
+        for members in groups.values():
+            member_set = set(members)
+            edges = [
+                index
+                for index in internal
+                if self.conditions[index][0] in member_set
+            ]
+            out.append((members, edges))
+        return out
+
+    def _solve_component(
+        self,
+        names: List[str],
+        edges: List[int],
+        unary: Mapping[str, np.ndarray],
+        support: Mapping[int, np.ndarray],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        if self._edges_form_tree(names, edges):
+            return self._solve_tree(names, edges, unary, support)
+        return self._solve_backtracking(names, edges, unary, support)
+
+    @staticmethod
+    def _edges_form_tree(names: List[str], edges: List[int]) -> bool:
+        # A connected graph is a tree iff |E| = |V| - 1 (multi-edges
+        # between the same pair count as cycles, conservatively).
+        return len(edges) == len(names) - 1
+
+    # ------------------------------------------------------------------
+    # Tree solver: two-pass directional arc consistency (complete on
+    # trees: every surviving value extends to a full solution).
+    # ------------------------------------------------------------------
+    def _solve_tree(
+        self,
+        names: List[str],
+        edges: List[int],
+        unary: Mapping[str, np.ndarray],
+        support: Mapping[int, np.ndarray],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        adjacency: Dict[str, List[int]] = defaultdict(list)
+        for index in edges:
+            left, _, right = self.conditions[index]
+            adjacency[left].append(index)
+            adjacency[right].append(index)
+
+        # BFS rooting.
+        root = names[0]
+        order: List[str] = [root]
+        parent_edge: Dict[str, int] = {}
+        visited = {root}
+        cursor = 0
+        while cursor < len(order):
+            current = order[cursor]
+            cursor += 1
+            for index in adjacency[current]:
+                left, _, right = self.conditions[index]
+                neighbour = right if left == current else left
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    parent_edge[neighbour] = index
+                    order.append(neighbour)
+
+        def message(target: str, source_mask: np.ndarray, index: int) -> np.ndarray:
+            """Values of ``target`` supported across edge ``index`` by some
+            allowed value of the other endpoint."""
+            left, _, right = self.conditions[index]
+            matrix = support[index]
+            if target == left:
+                if source_mask.any():
+                    return matrix[:, source_mask].any(axis=1)
+                return np.zeros(matrix.shape[0], dtype=bool)
+            if source_mask.any():
+                return matrix[source_mask, :].any(axis=0)
+            return np.zeros(matrix.shape[1], dtype=bool)
+
+        # Upward pass.
+        up: Dict[str, np.ndarray] = {}
+        children: Dict[str, List[str]] = defaultdict(list)
+        for child, index in parent_edge.items():
+            left, _, right = self.conditions[index]
+            parent = right if left == child else left
+            children[parent].append(child)
+        for name in reversed(order):
+            mask = np.array(unary[name], copy=True)
+            for child in children[name]:
+                mask &= message(name, up[child], parent_edge[child])
+            up[name] = mask
+        if not up[root].any():
+            return None
+
+        # Downward pass.
+        down: Dict[str, np.ndarray] = {root: np.ones_like(up[root])}
+        for name in order:
+            if name == root:
+                continue
+            index = parent_edge[name]
+            left, _, right = self.conditions[index]
+            parent = right if left == name else left
+            parent_mask = unary[parent] & down[parent]
+            for sibling in children[parent]:
+                if sibling != name:
+                    parent_mask &= message(
+                        parent, up[sibling], parent_edge[sibling]
+                    )
+            down[name] = message(name, parent_mask, index)
+
+        return {name: up[name] & down[name] for name in names}
+
+    # ------------------------------------------------------------------
+    # Cyclic fallback: per-value backtracking satisfiability.
+    # ------------------------------------------------------------------
+    def _solve_backtracking(
+        self,
+        names: List[str],
+        edges: List[int],
+        unary: Mapping[str, np.ndarray],
+        support: Mapping[int, np.ndarray],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        adjacency: Dict[str, List[int]] = defaultdict(list)
+        for index in edges:
+            left, _, right = self.conditions[index]
+            adjacency[left].append(index)
+            adjacency[right].append(index)
+
+        candidates = {
+            name: list(np.nonzero(unary[name])[0]) for name in names
+        }
+
+        def consistent(name: str, value: int, assignment: Dict[str, int]) -> bool:
+            for index in adjacency[name]:
+                left, _, right = self.conditions[index]
+                other = right if left == name else left
+                if other not in assignment:
+                    continue
+                matrix = support[index]
+                if left == name:
+                    if not matrix[value, assignment[other]]:
+                        return False
+                else:
+                    if not matrix[assignment[other], value]:
+                        return False
+            return True
+
+        def satisfiable(pinned: str, value: int) -> bool:
+            assignment = {pinned: value}
+            rest = [n for n in names if n != pinned]
+
+            def extend(k: int) -> bool:
+                if k == len(rest):
+                    return True
+                name = rest[k]
+                for choice in candidates[name]:
+                    if consistent(name, choice, assignment):
+                        assignment[name] = choice
+                        if extend(k + 1):
+                            return True
+                        del assignment[name]
+                return False
+
+            return extend(0)
+
+        out: Dict[str, np.ndarray] = {}
+        any_solution = False
+        for name in names:
+            mask = np.zeros(len(unary[name]), dtype=bool)
+            for value in candidates[name]:
+                if satisfiable(name, int(value)):
+                    mask[value] = True
+                    any_solution = True
+            out[name] = mask
+        if not any_solution:
+            return None
+        return out

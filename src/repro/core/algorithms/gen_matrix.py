@@ -1,0 +1,677 @@
+"""The grid engine: Gen-Matrix, All-Seq-Matrix and All-Matrix.
+
+One engine implements the paper's three grid algorithms, which share their
+structure and differ only in what a *dimension* is:
+
+* **All-Matrix** (Section 7.1): pure sequence queries — every relation is
+  its own colocation component, so the grid has one dimension per relation
+  and the whole join runs in a single MapReduce cycle.
+* **All-Seq-Matrix** (Section 8.1): hybrid single-attribute queries — one
+  dimension per colocation component; a preliminary RCCIS flagging cycle
+  decides which intervals each embedded colocation sub-join must
+  replicate.
+* **Gen-Matrix** (Section 9.1): general queries — vertices are
+  ``(relation, attribute)`` pairs; a relation's tuple is routed under the
+  conjunction of the per-attribute constraints.
+
+Consistent reducers
+-------------------
+A grid cell is *consistent* when ``i_j <= i_k`` for every enforced
+less-than order between components ``C_j < C_k``.  The paper prunes
+inconsistent cells unconditionally; that pruning is only sound when every
+member of the earlier component provably starts no later than the sequence
+partner's start (see DESIGN.md — the paper's own evaluation queries all
+satisfy this, but adversarial hybrid queries do not).  We verify the
+soundness condition per order pair with Allen path consistency and fall
+back to keeping the cells whenever it cannot be proven, preserving
+correctness at the cost of pruning less.
+
+Flag distribution
+-----------------
+The flagging cycle emits only the flagged ``(relation, rid, attribute)``
+triples; the driver ships that small table to the routing mappers the way
+a Hadoop job would use the DistributedCache.  (RCCIS proper instead passes
+whole flagged rows through its first cycle's output, exactly as the paper
+describes; both designs are implemented so the test suite cross-checks
+them.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import PlanningError, UnsatisfiableQueryError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.algorithms.crossing import CrossingSetFinder
+from repro.core.graph import Component, JoinGraph
+from repro.core.local import LocalJoiner
+from repro.core.query import IntervalJoinQuery, QueryClass, Term
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.composition import path_consistency
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+
+__all__ = ["GenMatrix", "AllSeqMatrix", "AllMatrix", "GridSpec"]
+
+Cell = Tuple[int, ...]
+FlagKey = Tuple[str, int, str]  # (relation, rid, attribute)
+
+
+def default_grid_parts(num_partitions: int, dimensions: int) -> int:
+    """Per-dimension partition count giving roughly ``num_partitions``
+    cells in total."""
+    if dimensions <= 0:
+        return max(2, num_partitions)
+    return max(2, math.ceil(num_partitions ** (1.0 / dimensions)))
+
+
+class GridSpec:
+    """The reducer grid: components, justified orders, consistent cells.
+
+    Dimensions may carry *different* granularities (Afrati-style shares:
+    give heavy components more partitions), in which case consistency
+    between two coordinates compares partition boundaries rather than
+    indices: a cell survives a justified order ``C_j <= C_k`` iff some
+    start point in dimension j's partition can precede some start point
+    in dimension k's — i.e. ``min_start_j < max_start_k`` — which reduces
+    to ``i_j <= i_k`` when the granularities coincide.
+    """
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        partitionings: Union[Partitioning, Sequence[Partitioning]],
+    ) -> None:
+        self.graph = graph
+        self.dimensions = len(graph.components)
+        if isinstance(partitionings, Partitioning):
+            per_dim: List[Partitioning] = [partitionings] * self.dimensions
+        else:
+            per_dim = list(partitionings)
+            if len(per_dim) != self.dimensions:
+                raise PlanningError(
+                    f"grid needs one partitioning per dimension "
+                    f"({self.dimensions}), got {len(per_dim)}"
+                )
+        self.partitionings: Tuple[Partitioning, ...] = tuple(per_dim)
+        self.justified_orders = self._justify_orders()
+        self.cells: List[Cell] = [
+            cell
+            for cell in itertools.product(
+                *(range(len(p)) for p in self.partitionings)
+            )
+            if all(
+                self._order_possible(j, cell[j], k, cell[k])
+                for j, k in self.justified_orders
+            )
+        ]
+        self.total_cells = 1
+        for p in self.partitionings:
+            self.total_cells *= len(p)
+        self._projections: Dict[Tuple[int, ...], Dict[Tuple[int, ...], List[Cell]]] = {}
+
+    # ------------------------------------------------------------------
+    def partitioning_of(self, dim: int) -> Partitioning:
+        """The partitioning governing one grid dimension."""
+        return self.partitionings[dim]
+
+    @property
+    def partitioning(self) -> Partitioning:
+        """The shared partitioning of a uniform grid (the common case)."""
+        first = self.partitionings[0]
+        if any(p is not first and p != first for p in self.partitionings):
+            raise PlanningError(
+                "grid has per-dimension partitionings; use partitioning_of"
+            )
+        return first
+
+    def _order_possible(self, dim_j: int, i_j: int, dim_k: int, i_k: int) -> bool:
+        """Whether a start in partition ``i_j`` of dim ``j`` can be <= a
+        start in partition ``i_k`` of dim ``k``.  Edge partitions absorb
+        clamped out-of-range starts, so the first partition's lower bound
+        and the last partition's upper bound are unbounded."""
+        pj = self.partitionings[dim_j]
+        pk = self.partitionings[dim_k]
+        min_start_j = float("-inf") if i_j == 0 else pj.boundaries[i_j]
+        max_start_k = (
+            float("inf")
+            if i_k == len(pk) - 1
+            else pk.boundaries[i_k + 1]
+        )
+        return min_start_j < max_start_k
+
+    # ------------------------------------------------------------------
+    def _justify_orders(self) -> FrozenSet[Tuple[int, int]]:
+        """The component order pairs for which inconsistent-cell pruning
+        is provably sound (see module docstring)."""
+        graph = self.graph
+        if not graph.component_orders:
+            return frozenset()
+        try:
+            tightened = path_consistency(graph.constraint_network())
+        except UnsatisfiableQueryError:
+            # Provably empty query; the caller handles emptiness — every
+            # pruning is vacuously sound.
+            return graph.component_orders
+        justified: Set[Tuple[int, int]] = set()
+        for cond in graph.sequence_conditions:
+            if cond.predicate.enforces_left_first():
+                early_term, late_term = cond.left, cond.right
+            else:
+                early_term, late_term = cond.right, cond.left
+            cj = graph.component_of(early_term).index
+            ck = graph.component_of(late_term).index
+            if cj == ck:
+                continue
+            early_component = graph.components[cj]
+            # Sound iff no member of the earlier component can start after
+            # the early endpoint's interval ends, i.e. Allen "after" is
+            # excluded between every member and the early endpoint.
+            sound = all(
+                "after" not in tightened.constraint(str(term), str(early_term))
+                for term in early_component.terms
+            )
+            if sound:
+                justified.add((cj, ck))
+        return frozenset(justified)
+
+    # ------------------------------------------------------------------
+    def cells_matching(
+        self, constraints: Mapping[int, FrozenSet[int]]
+    ) -> List[Cell]:
+        """Consistent cells whose coordinate on each constrained dimension
+        lies in the allowed set (grouped-lookup, precomputed per dimension
+        subset)."""
+        dims = tuple(sorted(constraints))
+        if not dims:
+            return self.cells
+        index = self._projections.get(dims)
+        if index is None:
+            index = defaultdict(list)
+            for cell in self.cells:
+                index[tuple(cell[d] for d in dims)].append(cell)
+            self._projections[dims] = index
+        out: List[Cell] = []
+        for values in itertools.product(
+            *(sorted(constraints[d]) for d in dims)
+        ):
+            out.extend(index.get(values, ()))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Flagging cycle (per multi-term component)
+# ----------------------------------------------------------------------
+
+
+class _ComponentSplitMapper(Mapper):
+    """Split one term's interval values, keyed by (component, partition)."""
+
+    def __init__(self, term: Term, component: int, partitioning: Partitioning):
+        self.term = term
+        self.component = component
+        self.partitioning = partitioning
+
+    def map(self, record: Row, context: MapContext) -> None:
+        interval = record.interval(self.term.attribute)
+        for index in self.partitioning.split(interval):
+            context.emit(
+                (self.component, index), (str(self.term), record)
+            )
+
+
+class _ComponentFlaggingReducer(Reducer):
+    """Run the crossing-set CSP for one (component, partition); emit the
+    flagged ``(relation, rid, attribute)`` triples."""
+
+    def __init__(
+        self,
+        components: Sequence[Component],
+        partitionings: Mapping[int, Partitioning],
+    ) -> None:
+        self.components = {comp.index: comp for comp in components}
+        self.partitionings = dict(partitionings)
+
+    def reduce(
+        self,
+        key: Hashable,
+        values: List[Tuple[str, Row]],
+        context: ReduceContext,
+    ) -> None:
+        component_index, partition = key  # type: ignore[misc]
+        component = self.components[component_index]
+        partitioning = self.partitionings[component_index]
+        terms = sorted(component.terms)
+        term_by_name = {str(term): term for term in terms}
+        rows_by_term: Dict[str, List[Row]] = defaultdict(list)
+        for term_name, row in values:
+            rows_by_term[term_name].append(row)
+        intervals = {
+            term_name: [
+                row.interval(term_by_name[term_name].attribute)
+                for row in rows
+            ]
+            for term_name, rows in rows_by_term.items()
+        }
+
+        relations = [term.relation for term in terms]
+        if len(set(relations)) < len(relations):
+            # Two attributes of one relation inside one component: the CSP
+            # variables would have to co-bind.  Fall back to flagging every
+            # interval starting here (All-Replicate semantics within the
+            # dimension) — always correct, never optimal.
+            for term_name, rows in rows_by_term.items():
+                term = term_by_name[term_name]
+                for row, interval in zip(rows, intervals[term_name]):
+                    if partitioning.project(interval) == partition:
+                        context.counters.increment(
+                            "join", "replicated_intervals"
+                        )
+                        context.emit((term.relation, row.rid, term.attribute))
+            return
+
+        conditions = [
+            (str(cond.left), cond.predicate, str(cond.right))
+            for cond in component.conditions
+        ]
+        finder = CrossingSetFinder(
+            [str(term) for term in terms],
+            conditions,
+            partitioning,
+            partition,
+        )
+        masks = finder.replicable(intervals)
+        for term_name, rows in rows_by_term.items():
+            term = term_by_name[term_name]
+            mask = masks.get(term_name)
+            for index, row in enumerate(rows):
+                interval = intervals[term_name][index]
+                if partitioning.project(interval) != partition:
+                    continue
+                if mask is not None and bool(mask[index]):
+                    context.counters.increment("join", "replicated_intervals")
+                    context.emit((term.relation, row.rid, term.attribute))
+
+
+# ----------------------------------------------------------------------
+# Routing + join cycle
+# ----------------------------------------------------------------------
+
+
+class _GridRouteMapper(Mapper):
+    """Route one relation's rows to the consistent cells satisfying all
+    per-attribute constraints (conditions E1 + E2 of Sections 8.1/9.1)."""
+
+    def __init__(
+        self,
+        relation: str,
+        terms: Sequence[Term],
+        term_components: Mapping[str, int],
+        grid: GridSpec,
+        flags: FrozenSet[FlagKey],
+    ) -> None:
+        self.relation = relation
+        self.terms = list(terms)
+        self.term_components = dict(term_components)
+        self.grid = grid
+        self.flags = flags
+
+    def map(self, record: Row, context: MapContext) -> None:
+        constraints: Dict[int, FrozenSet[int]] = {}
+        replicated = False
+        for term in self.terms:
+            dim = self.term_components[str(term)]
+            parts = self.grid.partitioning_of(dim)
+            interval = record.interval(term.attribute)
+            q = parts.project(interval)
+            if (self.relation, record.rid, term.attribute) in self.flags:
+                allowed = frozenset(range(q, len(parts)))
+                replicated = True
+            else:
+                allowed = frozenset((q,))
+            if dim in constraints:
+                constraints[dim] = constraints[dim] & allowed
+            else:
+                constraints[dim] = allowed
+        if any(not allowed for allowed in constraints.values()):
+            return  # contradictory constraints: the row joins nothing
+        targets = self.grid.cells_matching(constraints)
+        if replicated:
+            context.counters.increment("join", "replicated_pairs", len(targets))
+        for cell in targets:
+            context.emit(cell, (self.relation, record))
+
+
+class _GridJoinReducer(Reducer):
+    """Join one cell's rows; emit tuples owned by this cell (per
+    component, the right-most member interval starts at the cell's
+    coordinate).
+
+    When a component replicates intervals (an embedded RCCIS sub-join),
+    enumeration is *anchored* on that component: the join is driven, per
+    anchor term, from rows whose interval starts at the cell's coordinate
+    on the component's dimension, and the anchored row must be the
+    component's unique right-most member (ties broken by term order).
+    This keeps the reducer's work proportional to the tuples it owns
+    instead of re-enumerating combinations of replicated rows owned by
+    earlier cells (see the RCCIS JoinReducer for the 1-dim argument).
+    """
+
+    def __init__(self, query: IntervalJoinQuery, grid: GridSpec) -> None:
+        self.query = query
+        self.grid = grid
+        # component index -> list of terms whose intervals it governs
+        self.component_terms: Dict[int, List[Term]] = defaultdict(list)
+        for component in grid.graph.components:
+            self.component_terms[component.index] = sorted(component.terms)
+        # Anchor on the largest component (the one whose replication
+        # would otherwise cause re-enumeration); None for all-singleton
+        # grids (pure routing delivers each tuple to exactly one cell).
+        # Components holding two attributes of one relation are excluded
+        # — their terms co-bind one row, which would break the
+        # exactly-once run decomposition; they fall back to the plain
+        # ownership filter.
+        multi = [
+            comp
+            for comp in grid.graph.components
+            if len(comp.terms) > 1
+            and len({term.relation for term in comp.terms})
+            == len(comp.terms)
+        ]
+        self._anchor_component: Optional[int] = (
+            max(multi, key=lambda c: len(c.terms)).index if multi else None
+        )
+        self._joiners: Dict[Optional[str], LocalJoiner] = {}
+
+    def _joiner(self, anchor_relation: Optional[str], count) -> LocalJoiner:
+        joiner = self._joiners.get(anchor_relation)
+        if joiner is None:
+            joiner = LocalJoiner(
+                self.query, count, start_with=anchor_relation
+            )
+            self._joiners[anchor_relation] = joiner
+        else:
+            joiner._count = count
+        return joiner
+
+    def reduce(
+        self,
+        key: Hashable,
+        values: List[Tuple[str, Row]],
+        context: ReduceContext,
+    ) -> None:
+        cell: Cell = tuple(key)  # type: ignore[arg-type]
+        rows_by_relation: Dict[str, List[Row]] = defaultdict(list)
+        for relation, row in values:
+            rows_by_relation[relation].append(row)
+
+        def count(n: int) -> None:
+            context.counters.increment("work", "comparisons", n)
+
+        def owns(binding: Mapping[str, Row]) -> bool:
+            for dim, terms in self.component_terms.items():
+                rightmost_start = max(
+                    binding[term.relation].interval(term.attribute).start
+                    for term in terms
+                )
+                locate = self.grid.partitioning_of(dim).locate
+                if locate(rightmost_start) != cell[dim]:
+                    return False
+            return True
+
+        if self._anchor_component is None:
+            joiner = self._joiner(None, count)
+            for tuple_rows in joiner.join(rows_by_relation, accept=owns):
+                context.emit(tuple_rows)
+            return
+
+        # Decompose enumeration by the last *local* member of the anchor
+        # component (local = interval starts at the cell's coordinate on
+        # that dimension): run k anchors term k on its local rows, allows
+        # anything for earlier terms and only non-local rows for later
+        # ones.  Each owned tuple appears in exactly one run; purely
+        # replicated combinations are never enumerated.  The remaining
+        # per-dimension ownership checks stay in ``owns``.
+        anchor_dim = self._anchor_component
+        anchor_terms = self.component_terms[anchor_dim]
+        anchor_parts = self.grid.partitioning_of(anchor_dim)
+
+        def is_local(term: Term, row: Row) -> bool:
+            return (
+                anchor_parts.locate(row.interval(term.attribute).start)
+                == cell[anchor_dim]
+            )
+
+        for k, anchor_term in enumerate(anchor_terms):
+            relation = anchor_term.relation
+            local = [
+                row
+                for row in rows_by_relation.get(relation, ())
+                if is_local(anchor_term, row)
+            ]
+            if not local:
+                continue
+            candidates = dict(rows_by_relation)
+            candidates[relation] = local
+            usable = True
+            for later in anchor_terms[k + 1:]:
+                candidates[later.relation] = [
+                    row
+                    for row in rows_by_relation.get(later.relation, ())
+                    if not is_local(later, row)
+                ]
+                if not candidates[later.relation]:
+                    usable = False
+                    break
+            if not usable:
+                continue
+
+            joiner = self._joiner(relation, count)
+            for tuple_rows in joiner.join(candidates, accept=owns):
+                context.emit(tuple_rows)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class GenMatrix(JoinAlgorithm):
+    """The general grid algorithm (Section 9.1).
+
+    ``num_partitions`` is interpreted as the *per-dimension* partition
+    count when ``grid_parts`` is not given explicitly.
+    """
+
+    name = "gen_matrix"
+
+    #: restrict to a query class (None = any); subclasses override.
+    _required_class: Optional[QueryClass] = None
+
+    def __init__(
+        self, grid_parts: Optional[Union[int, Sequence[int]]] = None
+    ) -> None:
+        #: per-dimension granularity: a single ``o`` for a uniform grid,
+        #: or one value per colocation component for Afrati-style shares
+        #: (heavier components get more partitions; see
+        #: :func:`repro.core.tuning.recommend_shares`).
+        self.grid_parts = grid_parts
+
+    # ------------------------------------------------------------------
+    def _check_query(self, query: IntervalJoinQuery) -> None:
+        if (
+            self._required_class is not None
+            and query.query_class is not self._required_class
+        ):
+            raise PlanningError(
+                f"{type(self).__name__} handles {self._required_class.name} "
+                f"queries; got {query.query_class.name}"
+            )
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        self._check_query(query)
+        try:
+            graph = JoinGraph(query)
+        except UnsatisfiableQueryError:
+            return JoinResult(
+                query, [], ExecutionMetrics(algorithm=self.name)
+            )
+        grid_parts = self.grid_parts or num_partitions
+        if isinstance(grid_parts, int):
+            per_dim_parts: List[int] = [grid_parts] * len(graph.components)
+        else:
+            per_dim_parts = list(grid_parts)
+            if len(per_dim_parts) != len(graph.components):
+                raise PlanningError(
+                    f"grid_parts must give one granularity per dimension "
+                    f"({len(graph.components)}), got {len(per_dim_parts)}"
+                )
+        file_system, pipeline, parts = self._setup(
+            query, data, per_dim_parts[0], fs, executor,
+            partitioning, partition_strategy,
+        )
+        if partitioning is not None or len(set(per_dim_parts)) == 1:
+            partitionings: List[Partitioning] = [parts] * len(
+                graph.components
+            )
+        else:
+            from repro.core.algorithms.base import build_partitioning
+
+            partitionings = [
+                build_partitioning(query, data, o, strategy=partition_strategy)
+                for o in per_dim_parts
+            ]
+        grid = GridSpec(graph, partitionings)
+
+        # ----- cycle 1: flagging (only for multi-term components) -----
+        multi_components = [
+            comp for comp in graph.components if len(comp.terms) > 1
+        ]
+        flags: Set[FlagKey] = set()
+        if multi_components:
+            inputs = []
+            for comp in multi_components:
+                for term in sorted(comp.terms):
+                    inputs.append(
+                        InputSpec(
+                            input_path(term.relation),
+                            _ComponentSplitMapper(
+                                term, comp.index,
+                                grid.partitioning_of(comp.index),
+                            ),
+                        )
+                    )
+            flag_job = JobConf(
+                name=f"{self.name}-flag",
+                inputs=inputs,
+                reducer=_ComponentFlaggingReducer(
+                    multi_components,
+                    {
+                        comp.index: grid.partitioning_of(comp.index)
+                        for comp in multi_components
+                    },
+                ),
+                output=f"{self.name}/flags",
+                num_reduce_tasks=max(
+                    1,
+                    sum(
+                        len(grid.partitioning_of(comp.index))
+                        for comp in multi_components
+                    ),
+                ),
+                partitioner=RoundRobinKeyPartitioner(),
+            )
+            pipeline.run(flag_job)
+            flags = set(file_system.read_dir(f"{self.name}/flags"))
+
+        # ----- cycle 2: grid routing + join -----
+        term_components = {
+            str(term): graph.component_of(term).index for term in query.terms
+        }
+        terms_by_relation: Dict[str, List[Term]] = defaultdict(list)
+        for term in query.terms:
+            terms_by_relation[term.relation].append(term)
+
+        join_job = JobConf(
+            name=f"{self.name}-join",
+            inputs=[
+                InputSpec(
+                    input_path(name),
+                    _GridRouteMapper(
+                        name,
+                        terms_by_relation[name],
+                        term_components,
+                        grid,
+                        frozenset(flags),
+                    ),
+                )
+                for name in query.relations
+            ],
+            reducer=_GridJoinReducer(query, grid),
+            output=f"{self.name}/output",
+            num_reduce_tasks=max(1, len(grid.cells)),
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(join_job)
+
+        tuples = list(file_system.read_dir(f"{self.name}/output"))
+        return self._finish(
+            query,
+            pipeline,
+            cost_model,
+            tuples,
+            consistent_reducers=len(grid.cells),
+            total_reducers=grid.total_cells,
+        )
+
+
+class AllSeqMatrix(GenMatrix):
+    """All-Seq-Matrix (Section 8.1): the grid engine restricted to
+    single-attribute hybrid queries (its original formulation)."""
+
+    name = "all_seq_matrix"
+
+    def _check_query(self, query: IntervalJoinQuery) -> None:
+        if not query.is_single_attribute:
+            raise PlanningError(
+                "All-Seq-Matrix handles single-attribute queries; use "
+                "Gen-Matrix for multi-attribute ones"
+            )
+
+
+class AllMatrix(GenMatrix):
+    """All-Matrix (Section 7.1): the grid engine on pure sequence queries
+    — one dimension per relation, a single MapReduce cycle."""
+
+    name = "all_matrix"
+    _required_class = QueryClass.SEQUENCE

@@ -1,0 +1,298 @@
+"""Pruned-All-Seq-Matrix — PASM (Section 8.2).
+
+All-Seq-Matrix plus a pruning cycle: an interval that does not appear in
+the output of its component's colocation sub-query cannot appear in any
+output tuple of the full query, so it need not be shipped to the grid at
+all.  Three MapReduce cycles:
+
+1. the RCCIS flagging cycle (shared with All-Seq-Matrix);
+2. a *marking* cycle that computes each multi-relation component's
+   colocation join and records which rows participate;
+3. the grid routing + join cycle, restricted to the marked rows.
+
+When pruning removes little, the extra cycle makes PASM slightly slower
+than All-Seq-Matrix — the trade-off Table 3 quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import PlanningError, UnsatisfiableQueryError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.algorithms.gen_matrix import (
+    FlagKey,
+    GridSpec,
+    _ComponentFlaggingReducer,
+    _ComponentSplitMapper,
+    _GridJoinReducer,
+    _GridRouteMapper,
+)
+from repro.core.graph import JoinGraph
+from repro.core.local import LocalJoiner
+from repro.core.query import IntervalJoinQuery, Term
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+
+__all__ = ["PASM"]
+
+
+class _ComponentRouteMapper(Mapper):
+    """Marking-cycle map: RCCIS cycle-2 routing (replicate flagged /
+    project unflagged) within one component's 1-dim partitioning, keyed
+    by (component, partition)."""
+
+    def __init__(
+        self,
+        term: Term,
+        component: int,
+        partitioning: Partitioning,
+        flags: FrozenSet[FlagKey],
+    ) -> None:
+        self.term = term
+        self.component = component
+        self.partitioning = partitioning
+        self.flags = flags
+
+    def map(self, record: Row, context: MapContext) -> None:
+        interval = record.interval(self.term.attribute)
+        key = (self.term.relation, record.rid, self.term.attribute)
+        if key in self.flags:
+            targets = list(self.partitioning.replicate(interval))
+        else:
+            targets = [self.partitioning.project(interval)]
+        for index in targets:
+            context.emit(
+                (self.component, index), (self.term.relation, record)
+            )
+
+
+class _MarkingReducer(Reducer):
+    """Marking-cycle reduce: join one component's colocation sub-query at
+    one partition; emit the participating ``(relation, rid)`` pairs."""
+
+    def __init__(
+        self,
+        subqueries: Mapping[int, IntervalJoinQuery],
+        attributes: Mapping[str, str],
+        partitioning: Partitioning,
+    ) -> None:
+        self.subqueries = dict(subqueries)
+        self.attributes = dict(attributes)
+        self.partitioning = partitioning
+
+    def reduce(
+        self,
+        key: Hashable,
+        values: List[Tuple[str, Row]],
+        context: ReduceContext,
+    ) -> None:
+        component_index, partition = key  # type: ignore[misc]
+        subquery = self.subqueries[component_index]
+        rows_by_relation: Dict[str, List[Row]] = defaultdict(list)
+        for relation, row in values:
+            rows_by_relation[relation].append(row)
+        def is_local(name: str, row: Row) -> bool:
+            return (
+                self.partitioning.locate(
+                    row.interval(self.attributes[name]).start
+                )
+                == partition
+            )
+
+        local_rows: Dict[str, List[Row]] = {}
+        old_rows: Dict[str, List[Row]] = {}
+        for name, rows in rows_by_relation.items():
+            local_rows[name] = [r for r in rows if is_local(name, r)]
+            old_rows[name] = [r for r in rows if not is_local(name, r)]
+
+        def count(n: int) -> None:
+            context.counters.increment("work", "comparisons", n)
+
+        # Exactly-once decomposition by the last local member, as in the
+        # RCCIS JoinReducer.
+        names = list(subquery.relations)
+        seen: Set[Tuple[str, int]] = set()
+        for k, anchor in enumerate(names):
+            if not local_rows.get(anchor):
+                continue
+            candidates: Dict[str, List[Row]] = {}
+            for j, name in enumerate(names):
+                if j < k:
+                    candidates[name] = rows_by_relation.get(name, [])
+                elif j == k:
+                    candidates[name] = local_rows[anchor]
+                else:
+                    candidates[name] = old_rows.get(name, [])
+            joiner = LocalJoiner(subquery, count, start_with=anchor)
+            for tuple_rows in joiner.join(candidates):
+                for name, row in zip(subquery.relations, tuple_rows):
+                    mark = (name, row.rid)
+                    if mark not in seen:
+                        seen.add(mark)
+                        context.emit(mark)
+
+
+class _PrunedGridRouteMapper(_GridRouteMapper):
+    """Grid routing that drops rows pruned by the marking cycle."""
+
+    def __init__(self, *args, keep: Optional[FrozenSet[int]], **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: surviving rids for this relation; None = relation not pruned.
+        self.keep = keep
+
+    def map(self, record: Row, context: MapContext) -> None:
+        if self.keep is not None and record.rid not in self.keep:
+            context.counters.increment("join", "pruned_rows")
+            return
+        super().map(record, context)
+
+
+class PASM(JoinAlgorithm):
+    """Pruned-All-Seq-Matrix (three cycles)."""
+
+    name = "pasm"
+
+    def __init__(self, grid_parts: Optional[int] = None) -> None:
+        self.grid_parts = grid_parts
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        if not query.is_single_attribute:
+            raise PlanningError(
+                "PASM handles single-attribute queries; use Gen-Matrix "
+                "with pruning disabled for multi-attribute ones"
+            )
+        try:
+            graph = JoinGraph(query)
+        except UnsatisfiableQueryError:
+            return JoinResult(query, [], ExecutionMetrics(algorithm=self.name))
+        grid_parts = self.grid_parts or num_partitions
+        file_system, pipeline, parts = self._setup(
+            query, data, grid_parts, fs, executor,
+            partitioning, partition_strategy,
+        )
+        grid = GridSpec(graph, parts)
+        multi_components = [
+            comp for comp in graph.components if len(comp.terms) > 1
+        ]
+        attributes = {
+            name: query.attributes_of(name)[0] for name in query.relations
+        }
+
+        # ----- cycle 1: flagging -----
+        flags: Set[FlagKey] = set()
+        if multi_components:
+            flag_job = JobConf(
+                name="pasm-flag",
+                inputs=[
+                    InputSpec(
+                        input_path(term.relation),
+                        _ComponentSplitMapper(term, comp.index, parts),
+                    )
+                    for comp in multi_components
+                    for term in sorted(comp.terms)
+                ],
+                reducer=_ComponentFlaggingReducer(
+                    multi_components,
+                    {comp.index: parts for comp in multi_components},
+                ),
+                output="pasm/flags",
+                num_reduce_tasks=max(1, len(parts) * len(multi_components)),
+                partitioner=RoundRobinKeyPartitioner(),
+            )
+            pipeline.run(flag_job)
+            flags = set(file_system.read_dir("pasm/flags"))
+
+        # ----- cycle 2: marking (component colocation joins) -----
+        keep: Dict[str, Set[int]] = {}
+        if multi_components:
+            subqueries = {
+                comp.index: IntervalJoinQuery(list(comp.conditions))
+                for comp in multi_components
+            }
+            mark_job = JobConf(
+                name="pasm-mark",
+                inputs=[
+                    InputSpec(
+                        input_path(term.relation),
+                        _ComponentRouteMapper(
+                            term, comp.index, parts, frozenset(flags)
+                        ),
+                    )
+                    for comp in multi_components
+                    for term in sorted(comp.terms)
+                ],
+                reducer=_MarkingReducer(subqueries, attributes, parts),
+                output="pasm/marks",
+                num_reduce_tasks=max(1, len(parts) * len(multi_components)),
+                partitioner=RoundRobinKeyPartitioner(),
+            )
+            pipeline.run(mark_job)
+            for relation, rid in file_system.read_dir("pasm/marks"):
+                keep.setdefault(relation, set()).add(rid)
+            # Relations in multi-relation components but absent from the
+            # marks are fully pruned (empty keep set, not "unpruned").
+            for comp in multi_components:
+                for term in comp.terms:
+                    keep.setdefault(term.relation, set())
+
+        # ----- cycle 3: pruned grid join -----
+        term_components = {
+            str(term): graph.component_of(term).index for term in query.terms
+        }
+        terms_by_relation: Dict[str, List[Term]] = defaultdict(list)
+        for term in query.terms:
+            terms_by_relation[term.relation].append(term)
+        join_job = JobConf(
+            name="pasm-join",
+            inputs=[
+                InputSpec(
+                    input_path(name),
+                    _PrunedGridRouteMapper(
+                        name,
+                        terms_by_relation[name],
+                        term_components,
+                        grid,
+                        frozenset(flags),
+                        keep=(
+                            frozenset(keep[name]) if name in keep else None
+                        ),
+                    ),
+                )
+                for name in query.relations
+            ],
+            reducer=_GridJoinReducer(query, grid),
+            output="pasm/output",
+            num_reduce_tasks=max(1, len(grid.cells)),
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(join_job)
+
+        tuples = list(file_system.read_dir("pasm/output"))
+        result = self._finish(
+            query,
+            pipeline,
+            cost_model,
+            tuples,
+            consistent_reducers=len(grid.cells),
+            total_reducers=grid.total_cells,
+        )
+        return result

@@ -1,0 +1,264 @@
+"""RCCIS — Replicate Consistent And Crossing Interval Sets (Section 6.1).
+
+The paper's algorithm for multi-way colocation joins over a single
+interval attribute.  Two MapReduce cycles:
+
+1. **Flagging.**  Every relation is *split*, so reducer ``p`` receives all
+   intervals intersecting partition-interval ``p``.  The reducer finds the
+   intervals that belong to some consistent interval-set crossing ``p``
+   (conditions C1 + C2, solved by
+   :class:`~repro.core.algorithms.crossing.CrossingSetFinder`) and writes
+   each interval *starting* in ``p`` back to disk exactly once, flagged
+   for replication when it participates in such a set.
+2. **Join.**  Flagged intervals are *replicated* (start partition and all
+   following), the rest are *projected*.  Reducer ``p`` joins the rows it
+   receives and emits exactly the tuples whose right-most member starts in
+   ``p`` — the reducer the paper assigns each output tuple to.
+
+Intra-component sequence conditions are not supported here (RCCIS is the
+colocation-query algorithm); the planner routes other query classes to
+All-Matrix / All-Seq-Matrix / Gen-Matrix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.local import LocalJoiner
+from repro.core.query import IntervalJoinQuery, QueryClass
+from repro.core.results import JoinResult
+from repro.core.schema import Relation, Row
+from repro.core.algorithms.crossing import CrossingSetFinder
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+
+__all__ = ["RCCIS", "SplitMapper", "FlaggingReducer", "RouteMapper", "JoinReducer"]
+
+
+class SplitMapper(Mapper):
+    """Cycle 1 map: split one relation's rows over the partitioning."""
+
+    def __init__(
+        self, relation: str, attribute: str, partitioning: Partitioning
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+
+    def map(self, record: Row, context: MapContext) -> None:
+        interval = record.interval(self.attribute)
+        for index in self.partitioning.split(interval):
+            context.emit(index, (self.relation, record))
+
+
+class FlaggingReducer(Reducer):
+    """Cycle 1 reduce: decide replication flags for rows starting here."""
+
+    def __init__(
+        self,
+        query: IntervalJoinQuery,
+        relations: Sequence[str],
+        attributes: Mapping[str, str],
+        partitioning: Partitioning,
+    ) -> None:
+        self.query = query
+        self.relations = list(relations)
+        self.attributes = dict(attributes)
+        self.partitioning = partitioning
+        self.conditions = query.conditions_as_triples()
+
+    def reduce(
+        self, key: Hashable, values: List[Tuple[str, Row]], context: ReduceContext
+    ) -> None:
+        partition = int(key)
+        rows_by_relation: Dict[str, List[Row]] = defaultdict(list)
+        for relation, row in values:
+            rows_by_relation[relation].append(row)
+        intervals = {
+            relation: [
+                row.interval(self.attributes[relation]) for row in rows
+            ]
+            for relation, rows in rows_by_relation.items()
+        }
+        finder = CrossingSetFinder(
+            self.relations,
+            [c for c in self.conditions],
+            self.partitioning,
+            partition,
+        )
+        masks = finder.replicable(intervals)
+        for relation, rows in rows_by_relation.items():
+            mask = masks.get(relation)
+            for index, row in enumerate(rows):
+                interval = intervals[relation][index]
+                if self.partitioning.project(interval) != partition:
+                    continue  # flagged (or not) by its own start partition
+                flagged = bool(mask[index]) if mask is not None else False
+                if flagged:
+                    context.counters.increment("join", "replicated_intervals")
+                context.emit((relation, row, flagged))
+
+
+class RouteMapper(Mapper):
+    """Cycle 2 map: replicate flagged rows, project the rest."""
+
+    def __init__(self, attributes: Mapping[str, str], partitioning: Partitioning):
+        self.attributes = dict(attributes)
+        self.partitioning = partitioning
+
+    def map(
+        self, record: Tuple[str, Row, bool], context: MapContext
+    ) -> None:
+        relation, row, flagged = record
+        interval = row.interval(self.attributes[relation])
+        if flagged:
+            targets = list(self.partitioning.replicate(interval))
+            context.counters.increment(
+                "join", "replicated_pairs", len(targets)
+            )
+            for index in targets:
+                context.emit(index, (relation, row))
+        else:
+            context.emit(self.partitioning.project(interval), (relation, row))
+
+
+class JoinReducer(Reducer):
+    """Cycle 2 reduce: join received rows; emit tuples owned by this
+    partition (right-most member starts here).
+
+    Every row a cycle-2 reducer receives starts in this partition or an
+    earlier one (projection pins, replication goes rightward), so the
+    reducer owns a tuple iff at least one member is *local* (starts
+    here).  Enumeration is decomposed by the highest-indexed local
+    member: run ``k`` anchors relation ``k`` on its local rows, allows
+    any rows for relations before ``k``, and only *non-local* rows for
+    relations after ``k``.  Each owned tuple is produced by exactly one
+    run (the one anchored at its last local member) and combinations of
+    purely replicated rows — owned by earlier partitions — are never
+    enumerated, so the reducer's work stays proportional to its own
+    output.
+    """
+
+    def __init__(
+        self,
+        query: IntervalJoinQuery,
+        attributes: Mapping[str, str],
+        partitioning: Partitioning,
+    ) -> None:
+        self.query = query
+        self.attributes = dict(attributes)
+        self.partitioning = partitioning
+        self._joiners: Dict[str, LocalJoiner] = {}
+
+    def reduce(
+        self, key: Hashable, values: List[Tuple[str, Row]], context: ReduceContext
+    ) -> None:
+        partition = int(key)
+        rows_by_relation: Dict[str, List[Row]] = defaultdict(list)
+        for relation, row in values:
+            rows_by_relation[relation].append(row)
+
+        def is_local(name: str, row: Row) -> bool:
+            return (
+                self.partitioning.locate(
+                    row.interval(self.attributes[name]).start
+                )
+                == partition
+            )
+
+        local_rows: Dict[str, List[Row]] = {}
+        old_rows: Dict[str, List[Row]] = {}
+        for name, rows in rows_by_relation.items():
+            local_rows[name] = [r for r in rows if is_local(name, r)]
+            old_rows[name] = [r for r in rows if not is_local(name, r)]
+
+        def count(n: int) -> None:
+            context.counters.increment("work", "comparisons", n)
+
+        names = list(self.query.relations)
+        for k, anchor in enumerate(names):
+            if not local_rows.get(anchor):
+                continue
+            candidates: Dict[str, List[Row]] = {}
+            for j, name in enumerate(names):
+                if j < k:
+                    candidates[name] = rows_by_relation.get(name, [])
+                elif j == k:
+                    candidates[name] = local_rows[anchor]
+                else:
+                    candidates[name] = old_rows.get(name, [])
+            joiner = self._joiners.get(anchor)
+            if joiner is None:
+                joiner = LocalJoiner(self.query, count, start_with=anchor)
+                self._joiners[anchor] = joiner
+            else:
+                joiner._count = count
+            for tuple_rows in joiner.join(candidates):
+                context.emit(tuple_rows)
+
+
+class RCCIS(JoinAlgorithm):
+    """The paper's two-cycle colocation join algorithm."""
+
+    name = "rccis"
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        if query.query_class is not QueryClass.COLOCATION:
+            raise PlanningError(
+                "RCCIS handles colocation queries; got "
+                f"{query.query_class.name} — use the planner"
+            )
+        file_system, pipeline, parts = self._setup(
+            query, data, num_partitions, fs, executor,
+            partitioning, partition_strategy,
+        )
+        attributes = {
+            name: query.attributes_of(name)[0] for name in query.relations
+        }
+
+        flag_job = JobConf(
+            name="rccis-flag",
+            inputs=[
+                InputSpec(
+                    input_path(name),
+                    SplitMapper(name, attributes[name], parts),
+                )
+                for name in query.relations
+            ],
+            reducer=FlaggingReducer(query, query.relations, attributes, parts),
+            output="rccis/flags",
+            num_reduce_tasks=num_partitions,
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(flag_job)
+
+        join_job = JobConf(
+            name="rccis-join",
+            inputs=[InputSpec("rccis/flags", RouteMapper(attributes, parts))],
+            reducer=JoinReducer(query, attributes, parts),
+            output="rccis/output",
+            num_reduce_tasks=num_partitions,
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(join_job)
+
+        tuples = list(file_system.read_dir("rccis/output"))
+        return self._finish(query, pipeline, cost_model, tuples)

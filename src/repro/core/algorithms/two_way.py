@@ -1,0 +1,123 @@
+"""2-way interval joins (Section 4).
+
+A single MapReduce cycle: each side of the predicate is projected, split
+or replicated according to the operator table derived from Figure 1 (see
+:mod:`repro.intervals.allen`), and each reducer joins what it receives.
+The right-most-member ownership rule makes the output exactly-once even
+for the predicates that split or replicate one side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import PlanningError
+from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.algorithms.rccis import JoinReducer
+from repro.core.query import IntervalJoinQuery
+from repro.core.results import JoinResult
+from repro.core.schema import Relation, Row
+from repro.intervals.allen import MapOperator
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.shuffle import RoundRobinKeyPartitioner
+from repro.mapreduce.task import MapContext, Mapper
+
+__all__ = ["TwoWayJoin", "OperatorMapper"]
+
+
+class OperatorMapper(Mapper):
+    """Applies one of the Section-3 primitives to one relation."""
+
+    def __init__(
+        self,
+        relation: str,
+        attribute: str,
+        partitioning: Partitioning,
+        operator: MapOperator,
+    ) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        self.partitioning = partitioning
+        self.operator = operator
+
+    def map(self, record: Row, context: MapContext) -> None:
+        interval = record.interval(self.attribute)
+        if self.operator is MapOperator.PROJECT:
+            context.emit(
+                self.partitioning.project(interval), (self.relation, record)
+            )
+            return
+        if self.operator is MapOperator.SPLIT:
+            targets = list(self.partitioning.split(interval))
+        else:
+            targets = list(self.partitioning.replicate(interval))
+            context.counters.increment("join", "replicated_intervals")
+            context.counters.increment("join", "replicated_pairs", len(targets))
+        for index in targets:
+            context.emit(index, (self.relation, record))
+
+
+class TwoWayJoin(JoinAlgorithm):
+    """Single-condition interval join via the Figure-1 operator table."""
+
+    name = "two_way"
+
+    def run(
+        self,
+        query: IntervalJoinQuery,
+        data: Mapping[str, Relation],
+        *,
+        num_partitions: int = 16,
+        fs: Optional[FileSystem] = None,
+        executor: str = "serial",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        partitioning: Optional[Partitioning] = None,
+        partition_strategy: str = "uniform",
+    ) -> JoinResult:
+        if len(query.conditions) != 1 or len(query.relations) != 2:
+            raise PlanningError(
+                "TwoWayJoin handles exactly one condition over two relations"
+            )
+        condition = query.conditions[0]
+        file_system, pipeline, parts = self._setup(
+            query, data, num_partitions, fs, executor,
+            partitioning, partition_strategy,
+        )
+        attributes = {
+            name: query.attributes_of(name)[0] for name in query.relations
+        }
+        left_name = condition.left.relation
+        right_name = condition.right.relation
+        job = JobConf(
+            name="two-way",
+            inputs=[
+                InputSpec(
+                    input_path(left_name),
+                    OperatorMapper(
+                        left_name,
+                        condition.left.attribute,
+                        parts,
+                        condition.predicate.left_operator,
+                    ),
+                ),
+                InputSpec(
+                    input_path(right_name),
+                    OperatorMapper(
+                        right_name,
+                        condition.right.attribute,
+                        parts,
+                        condition.predicate.right_operator,
+                    ),
+                ),
+            ],
+            reducer=JoinReducer(query, attributes, parts),
+            output="twoway/output",
+            num_reduce_tasks=num_partitions,
+            partitioner=RoundRobinKeyPartitioner(),
+        )
+        pipeline.run(job)
+        tuples = list(file_system.read_dir("twoway/output"))
+        return self._finish(query, pipeline, cost_model, tuples)

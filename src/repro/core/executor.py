@@ -1,0 +1,90 @@
+"""The high-level entry point: :func:`execute`.
+
+Most users need only this::
+
+    from repro import Interval, Relation, IntervalJoinQuery, execute
+
+    r1 = Relation.of_intervals("R1", [Interval(0, 5), Interval(8, 12)])
+    r2 = Relation.of_intervals("R2", [Interval(3, 9)])
+    query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+    result = execute(query, {"R1": r1, "R2": r2})
+
+``execute`` plans (choosing the paper's algorithm for the query class,
+unless one is named explicitly), runs, and returns a
+:class:`~repro.core.results.JoinResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.errors import PlanningError
+from repro.core.algorithms.base import JoinAlgorithm
+from repro.core.planner import ALGORITHMS, plan
+from repro.core.query import IntervalJoinQuery
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation
+from repro.intervals.partitioning import Partitioning
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.fs import FileSystem
+
+__all__ = ["execute"]
+
+
+def execute(
+    query: IntervalJoinQuery,
+    data: Mapping[str, Relation],
+    algorithm: Optional[Union[str, JoinAlgorithm]] = None,
+    *,
+    num_partitions: int = 16,
+    fs: Optional[FileSystem] = None,
+    executor: str = "serial",
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    partitioning: Optional[Partitioning] = None,
+    partition_strategy: str = "uniform",
+    prune: bool = False,
+) -> JoinResult:
+    """Plan and run an interval join query.
+
+    Parameters
+    ----------
+    query, data:
+        The query and a mapping from relation name to :class:`Relation`.
+    algorithm:
+        Optional override: an algorithm name from
+        :data:`~repro.core.planner.ALGORITHMS` or an instance.  When
+        omitted the planner picks the paper's algorithm for the query
+        class (and proves trivially empty queries without running jobs).
+    prune:
+        For hybrid queries, prefer PASM over All-Seq-Matrix.
+
+    Other keyword arguments are forwarded to the algorithm; see
+    :meth:`~repro.core.algorithms.base.JoinAlgorithm.run`.
+    """
+    query.validate_against(data)
+    if algorithm is None:
+        chosen = plan(query, prune=prune)
+        if chosen.provably_empty:
+            metrics = ExecutionMetrics(algorithm="planner-empty")
+            return JoinResult(query, [], metrics)
+        runner = chosen.algorithm
+        assert runner is not None
+    elif isinstance(algorithm, str):
+        try:
+            runner = ALGORITHMS[algorithm]()
+        except KeyError:
+            raise PlanningError(
+                f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+            ) from None
+    else:
+        runner = algorithm
+    return runner.run(
+        query,
+        data,
+        num_partitions=num_partitions,
+        fs=fs,
+        executor=executor,
+        cost_model=cost_model,
+        partitioning=partitioning,
+        partition_strategy=partition_strategy,
+    )

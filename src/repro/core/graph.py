@@ -1,0 +1,219 @@
+"""Join graphs, colocation components, and component ordering.
+
+Sections 8 and 9 of the paper view a query as a graph ``G`` whose vertices
+are relations (hybrid queries) or ``(relation, attribute)`` pairs (general
+queries) and whose edges are conditions, classified *colocation* or
+*sequence*.  Dropping sequence edges yields ``G'`` whose connected
+components each encapsulate a colocation sub-query; sequence edges then
+induce a *less-than-order* between components.
+
+This module computes those components, the component order (with
+contradiction detection: opposite orders between the same pair, or a
+directed order cycle, prove the query output empty), and exposes an Allen
+path-consistency pre-check as a stronger emptiness prover.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import QueryError, UnsatisfiableQueryError
+from repro.intervals.composition import ConstraintNetwork, path_consistency
+from repro.core.query import IntervalJoinQuery, JoinCondition, Term
+
+__all__ = ["Component", "JoinGraph", "component_order_matrix"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One connected component of the colocation graph ``G'``.
+
+    Attributes
+    ----------
+    index:
+        The component's dimension index in the grid algorithms.
+    terms:
+        The ``(relation, attribute)`` vertices of the component.
+    conditions:
+        The colocation conditions internal to the component — the
+        colocation sub-query :math:`Q_C` the component encapsulates.
+    """
+
+    index: int
+    terms: FrozenSet[Term]
+    conditions: Tuple[JoinCondition, ...]
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(term.relation for term in self.terms)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(sorted(str(t) for t in self.terms))
+        return f"C{self.index}({names})"
+
+
+class JoinGraph:
+    """The query's join graph and its derived structures."""
+
+    def __init__(self, query: IntervalJoinQuery) -> None:
+        self.query = query
+        self.components: Tuple[Component, ...] = self._build_components()
+        self._term_component: Dict[Term, int] = {
+            term: comp.index for comp in self.components for term in comp.terms
+        }
+        # orders[(i, j)] = True  means component i must precede-or-tie j
+        # (i's dimension index must be <= j's in every consistent reducer).
+        self.component_orders: FrozenSet[Tuple[int, int]] = (
+            self._component_orders()
+        )
+        self.sequence_conditions: Tuple[JoinCondition, ...] = tuple(
+            c for c in query.conditions if c.is_sequence
+        )
+
+    # ------------------------------------------------------------------
+    def _build_components(self) -> Tuple[Component, ...]:
+        terms = list(self.query.terms)
+        parent: Dict[Term, Term] = {term: term for term in terms}
+
+        def find(t: Term) -> Term:
+            while parent[t] is not t:
+                parent[t] = parent[parent[t]]
+                t = parent[t]
+            return t
+
+        def union(a: Term, b: Term) -> None:
+            ra, rb = find(a), find(b)
+            if ra is not rb:
+                parent[ra] = rb
+
+        for cond in self.query.conditions:
+            if cond.is_colocation:
+                union(cond.left, cond.right)
+
+        groups: Dict[Term, List[Term]] = defaultdict(list)
+        for term in terms:
+            groups[find(term)].append(term)
+        # Deterministic component numbering: by smallest member term.
+        ordered_groups = sorted(
+            groups.values(), key=lambda members: min(members)
+        )
+        components: List[Component] = []
+        for index, members in enumerate(ordered_groups):
+            member_set = frozenset(members)
+            internal = tuple(
+                cond
+                for cond in self.query.conditions
+                if cond.is_colocation
+                and cond.left in member_set
+                and cond.right in member_set
+            )
+            components.append(Component(index, member_set, internal))
+        return tuple(components)
+
+    # ------------------------------------------------------------------
+    def component_of(self, term: Term) -> Component:
+        """The component containing a ``(relation, attribute)`` vertex."""
+        try:
+            return self.components[self._term_component[term]]
+        except KeyError:
+            raise QueryError(f"term {term} not in query") from None
+
+    def components_of_relation(self, relation: str) -> List[Component]:
+        """All components a relation participates in (one per attribute
+        for single-attribute queries; possibly several in general ones)."""
+        return [
+            comp for comp in self.components if relation in comp.relations
+        ]
+
+    # ------------------------------------------------------------------
+    def _component_orders(self) -> FrozenSet[Tuple[int, int]]:
+        """Orders between components induced by sequence conditions
+        (Section 9's 'less-than order between connected components').
+
+        Raises
+        ------
+        UnsatisfiableQueryError
+            When two sequence conditions enforce opposite orders between
+            the same component pair, or the orders form a directed cycle —
+            in either case no tuple can satisfy the query.
+        """
+        orders: Set[Tuple[int, int]] = set()
+        for cond in self.query.conditions:
+            if not cond.is_sequence:
+                continue
+            ci = self._term_component[cond.left]
+            cj = self._term_component[cond.right]
+            if ci == cj:
+                # A sequence edge inside one colocation component: the
+                # colocation chain ties the two terms to a shared point
+                # while the sequence predicate demands disjointness.  Not
+                # automatically contradictory (the colocation path may pass
+                # through other relations), so keep it as a plain
+                # condition; it imposes no inter-component order.
+                continue
+            if cond.predicate.enforces_left_first():
+                pair = (ci, cj)
+            else:
+                pair = (cj, ci)
+            if (pair[1], pair[0]) in orders:
+                raise UnsatisfiableQueryError(
+                    f"conditions enforce opposite orders between components "
+                    f"{pair[0]} and {pair[1]}; the query output is empty"
+                )
+            orders.add(pair)
+        self._check_acyclic(orders)
+        return frozenset(orders)
+
+    def _check_acyclic(self, orders: Set[Tuple[int, int]]) -> None:
+        """Sequence orders are strict (before/after), so a directed cycle
+        proves emptiness."""
+        successors: Dict[int, Set[int]] = defaultdict(set)
+        for a, b in orders:
+            successors[a].add(b)
+        state: Dict[int, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: int, stack: Tuple[int, ...]) -> None:
+            state[node] = 0
+            for nxt in successors[node]:
+                if state.get(nxt) == 0:
+                    raise UnsatisfiableQueryError(
+                        f"sequence conditions order components in a cycle "
+                        f"through {nxt}; the query output is empty"
+                    )
+                if nxt not in state:
+                    visit(nxt, stack + (node,))
+            state[node] = 1
+
+        for node in list(successors):
+            if node not in state:
+                visit(node, ())
+
+    # ------------------------------------------------------------------
+    def constraint_network(self) -> ConstraintNetwork:
+        """The query as an Allen constraint network over its terms."""
+        names = [str(term) for term in self.query.terms]
+        net = ConstraintNetwork(names)
+        for cond in self.query.conditions:
+            net.constrain(str(cond.left), str(cond.right), [cond.predicate])
+        return net
+
+    def prove_empty(self) -> bool:
+        """Try to prove the query empty via Allen path consistency.
+
+        Returns True when provably empty (sound); False means "unknown",
+        never "non-empty".
+        """
+        try:
+            path_consistency(self.constraint_network())
+        except UnsatisfiableQueryError:
+            return True
+        return False
+
+
+def component_order_matrix(
+    graph: JoinGraph,
+) -> List[Tuple[int, int]]:
+    """The component order pairs, sorted — convenience for grid builders."""
+    return sorted(graph.component_orders)

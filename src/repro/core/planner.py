@@ -1,0 +1,101 @@
+"""Algorithm selection.
+
+The planner applies the paper's taxonomy: colocation queries run RCCIS,
+sequence queries run All-Matrix, hybrid queries run All-Seq-Matrix (or
+PASM when pruning is requested), and everything else runs Gen-Matrix.
+Single-condition queries short-circuit to the 2-way join.  Before choosing
+an algorithm the planner tries to *prove the query empty* with Allen path
+consistency — provably empty queries are answered without running a
+single MapReduce job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import UnsatisfiableQueryError
+from repro.core.algorithms.all_replicate import AllReplicate
+from repro.core.algorithms.base import JoinAlgorithm
+from repro.core.algorithms.cascade import TwoWayCascade
+from repro.core.algorithms.gen_matrix import AllMatrix, AllSeqMatrix, GenMatrix
+from repro.core.algorithms.hybrid import FCTS, FSTC
+from repro.core.algorithms.pasm import PASM
+from repro.core.algorithms.rccis import RCCIS
+from repro.core.algorithms.two_way import TwoWayJoin
+from repro.core.graph import JoinGraph
+from repro.core.query import IntervalJoinQuery, QueryClass
+
+__all__ = ["ALGORITHMS", "choose_algorithm", "plan", "Plan"]
+
+#: Registry of all algorithms by name (benchmarks and the executor use it).
+ALGORITHMS: Dict[str, Type[JoinAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        TwoWayJoin,
+        TwoWayCascade,
+        AllReplicate,
+        RCCIS,
+        AllMatrix,
+        AllSeqMatrix,
+        PASM,
+        GenMatrix,
+        FCTS,
+        FSTC,
+    )
+}
+
+
+class Plan:
+    """A chosen algorithm plus the reasoning behind the choice."""
+
+    def __init__(
+        self,
+        query: IntervalJoinQuery,
+        algorithm: Optional[JoinAlgorithm],
+        provably_empty: bool,
+        reason: str,
+    ) -> None:
+        self.query = query
+        self.algorithm = algorithm
+        self.provably_empty = provably_empty
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.algorithm.name if self.algorithm else "none"
+        return f"Plan({name}: {self.reason})"
+
+
+def choose_algorithm(
+    query: IntervalJoinQuery, prune: bool = False
+) -> JoinAlgorithm:
+    """The paper's default algorithm for the query's class."""
+    if len(query.conditions) == 1 and len(query.relations) == 2:
+        return TwoWayJoin()
+    klass = query.query_class
+    if klass is QueryClass.COLOCATION:
+        return RCCIS()
+    if klass is QueryClass.SEQUENCE:
+        return AllMatrix()
+    if klass is QueryClass.HYBRID:
+        return PASM() if prune else AllSeqMatrix()
+    return GenMatrix()
+
+
+def plan(query: IntervalJoinQuery, prune: bool = False) -> Plan:
+    """Build an execution plan, proving emptiness when possible."""
+    try:
+        graph = JoinGraph(query)
+        if graph.prove_empty():
+            return Plan(
+                query, None, True,
+                "Allen path consistency proves the query empty",
+            )
+    except UnsatisfiableQueryError as exc:
+        return Plan(query, None, True, str(exc))
+    algorithm = choose_algorithm(query, prune=prune)
+    return Plan(
+        query,
+        algorithm,
+        False,
+        f"{query.query_class.value} query -> {algorithm.name}",
+    )

@@ -1,0 +1,75 @@
+"""Reference (oracle) join.
+
+A deliberately simple backtracking evaluation of a multi-way interval join
+used as ground truth by the test suite and by the PASM pruning stage's
+correctness checks.  The code favours being *obviously correct* over being
+fast: bind relations one at a time in query order; at each step scan all
+rows of the next relation and keep those satisfying every condition whose
+other relation is already bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.query import IntervalJoinQuery, JoinCondition
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation, Row
+
+__all__ = ["reference_join", "enumerate_reference_tuples"]
+
+
+def enumerate_reference_tuples(
+    query: IntervalJoinQuery, data: Mapping[str, Relation]
+) -> Iterator[Tuple[Row, ...]]:
+    """Yield every satisfying tuple, in no particular order."""
+    query.validate_against(data)
+    order: Sequence[str] = query.relations
+
+    # Conditions applicable when binding the k-th relation: both of the
+    # condition's relations are within order[:k+1] and one of them is
+    # order[k].
+    step_conditions: List[List[JoinCondition]] = []
+    for k, name in enumerate(order):
+        bound = set(order[: k + 1])
+        step_conditions.append(
+            [
+                cond
+                for cond in query.conditions
+                if cond.left.relation in bound
+                and cond.right.relation in bound
+                and name in (cond.left.relation, cond.right.relation)
+            ]
+        )
+
+    binding: Dict[str, Row] = {}
+
+    def satisfied(cond: JoinCondition) -> bool:
+        left_row = binding[cond.left.relation]
+        right_row = binding[cond.right.relation]
+        return cond.predicate.holds(
+            left_row.interval(cond.left.attribute),
+            right_row.interval(cond.right.attribute),
+        )
+
+    def extend(k: int) -> Iterator[Tuple[Row, ...]]:
+        if k == len(order):
+            yield tuple(binding[name] for name in order)
+            return
+        name = order[k]
+        for row in data[name].rows:
+            binding[name] = row
+            if all(satisfied(cond) for cond in step_conditions[k]):
+                yield from extend(k + 1)
+        binding.pop(name, None)
+
+    yield from extend(0)
+
+
+def reference_join(
+    query: IntervalJoinQuery, data: Mapping[str, Relation]
+) -> JoinResult:
+    """Evaluate the query by backtracking; the ground-truth result."""
+    tuples = list(enumerate_reference_tuples(query, data))
+    metrics = ExecutionMetrics(algorithm="reference", output_records=len(tuples))
+    return JoinResult(query, tuples, metrics)

@@ -1,0 +1,153 @@
+"""Join results and execution metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.query import IntervalJoinQuery
+from repro.core.schema import Row
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+from repro.mapreduce.pipeline import PipelineResult
+
+__all__ = ["ExecutionMetrics", "JoinResult"]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Everything an algorithm run measured.
+
+    The fields mirror the columns of the paper's evaluation tables:
+    intermediate pair counts ("# Pairs"), replicated interval counts
+    ("# Intervals Replicated"), per-reducer loads (the Figure 4 story) and
+    a modelled wall-clock time ("Time").
+    """
+
+    algorithm: str
+    num_cycles: int = 0
+    map_output_records: int = 0
+    shuffled_records: int = 0
+    replicated_intervals: int = 0
+    replicated_pairs: int = 0
+    #: rows dropped by PASM's marking cycle before grid routing.
+    pruned_rows: int = 0
+    comparisons: int = 0
+    records_read: int = 0
+    output_records: int = 0
+    #: records received per logical reducer (grid cell / partition).
+    reducer_loads: Dict[Hashable, int] = field(default_factory=dict)
+    #: modelled seconds under the cost model used at run time.
+    simulated_seconds: float = 0.0
+    #: number of consistent reducers used by grid algorithms (None
+    #: otherwise).
+    consistent_reducers: Optional[int] = None
+    #: total grid cells for grid algorithms (None otherwise).
+    total_reducers: Optional[int] = None
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        algorithm: str,
+        pipeline: PipelineResult,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> "ExecutionMetrics":
+        """Fold a pipeline's job results into one metric record."""
+        counters = pipeline.counters
+        loads: Dict[Hashable, int] = {}
+        for job in pipeline.jobs:
+            for key, value in job.logical_reducer_loads.items():
+                loads[key] = loads.get(key, 0) + value
+        return cls(
+            algorithm=algorithm,
+            num_cycles=pipeline.num_cycles,
+            map_output_records=pipeline.total_map_output_records,
+            shuffled_records=pipeline.total_shuffled_records,
+            replicated_intervals=counters.value("join", "replicated_intervals"),
+            replicated_pairs=counters.value("join", "replicated_pairs"),
+            pruned_rows=counters.value("join", "pruned_rows"),
+            comparisons=counters.value("work", "comparisons"),
+            records_read=counters.value("framework", "map_input_records"),
+            output_records=pipeline.jobs[-1].output_records if pipeline.jobs else 0,
+            reducer_loads=loads,
+            simulated_seconds=cost_model.pipeline_time(pipeline),
+        )
+
+    @classmethod
+    def combine(
+        cls, algorithm: str, parts: Sequence["ExecutionMetrics"]
+    ) -> "ExecutionMetrics":
+        """Sum metrics of sub-executions (used by composite algorithms
+        such as FCTS that orchestrate other algorithms' pipelines)."""
+        merged = cls(algorithm=algorithm)
+        for part in parts:
+            merged.num_cycles += part.num_cycles
+            merged.map_output_records += part.map_output_records
+            merged.shuffled_records += part.shuffled_records
+            merged.replicated_intervals += part.replicated_intervals
+            merged.replicated_pairs += part.replicated_pairs
+            merged.pruned_rows += part.pruned_rows
+            merged.comparisons += part.comparisons
+            merged.records_read += part.records_read
+            merged.simulated_seconds += part.simulated_seconds
+            for key, value in part.reducer_loads.items():
+                composite_key = (part.algorithm, key)
+                merged.reducer_loads[composite_key] = (
+                    merged.reducer_loads.get(composite_key, 0) + value
+                )
+        if parts:
+            merged.output_records = parts[-1].output_records
+        return merged
+
+    @property
+    def max_reducer_load(self) -> int:
+        return max(self.reducer_loads.values(), default=0)
+
+    @property
+    def mean_reducer_load(self) -> float:
+        if not self.reducer_loads:
+            return 0.0
+        return sum(self.reducer_loads.values()) / len(self.reducer_loads)
+
+
+class JoinResult:
+    """The output of one join execution.
+
+    Attributes
+    ----------
+    query:
+        The executed query.
+    tuples:
+        Output tuples, each a tuple of :class:`Row` in ``query.relations``
+        order.
+    metrics:
+        The run's :class:`ExecutionMetrics`.
+    """
+
+    def __init__(
+        self,
+        query: IntervalJoinQuery,
+        tuples: Sequence[Tuple[Row, ...]],
+        metrics: ExecutionMetrics,
+    ) -> None:
+        self.query = query
+        self.tuples: List[Tuple[Row, ...]] = list(tuples)
+        self.metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def tuple_ids(self) -> List[Tuple[int, ...]]:
+        """Sorted rid tuples (query relation order) — the canonical form
+        used to compare two results for equality."""
+        return sorted(tuple(row.rid for row in t) for t in self.tuples)
+
+    def same_output(self, other: "JoinResult") -> bool:
+        """Whether two results produced exactly the same tuple set."""
+        return self.tuple_ids() == other.tuple_ids()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinResult({self.metrics.algorithm}, {len(self.tuples)} tuples, "
+            f"{self.metrics.num_cycles} cycles, "
+            f"{self.metrics.shuffled_records} shuffled)"
+        )

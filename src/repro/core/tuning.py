@@ -1,0 +1,358 @@
+"""Cost-based tuning of partition counts and grid granularity.
+
+The paper fixes 16 reducers and hand-picks grid granularities, noting
+(Section 7.2) that the cost-model-driven tuning of Zhang et al. could be
+integrated "by taking the distribution of interval lengths into account".
+This module does exactly that for this library's algorithms: from cheap
+data statistics it predicts, per candidate partition count, the
+communication and straggler terms of the configured
+:class:`~repro.mapreduce.cost.CostModel`, and recommends the candidate
+with the lowest predicted time.
+
+The predictions intentionally reuse the same formulas the ablation
+benchmarks measure (A1a/A1b), so `recommend_*` can be validated against
+actual runs — see ``tests/core/test_tuning.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.core.graph import JoinGraph
+from repro.core.query import IntervalJoinQuery, QueryClass
+from repro.core.schema import Relation
+from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
+
+__all__ = [
+    "ShareRecommendation",
+    "recommend_shares",
+    "DataProfile",
+    "Candidate",
+    "TuningReport",
+    "profile_data",
+    "recommend_partitions",
+    "recommend_grid",
+]
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """Cheap sufficient statistics of the join input."""
+
+    total_rows: int
+    rows_per_relation: Dict[str, int]
+    mean_length: float
+    time_span: float
+
+    @property
+    def boundary_density(self) -> float:
+        """Expected fraction of intervals crossing a unit-width boundary,
+        per unit of partition width (mean length / span)."""
+        if self.time_span <= 0:
+            return 0.0
+        return self.mean_length / self.time_span
+
+
+def profile_data(
+    query: IntervalJoinQuery, data: Mapping[str, Relation]
+) -> DataProfile:
+    """Collect the statistics the predictors need (single pass)."""
+    rows_per_relation: Dict[str, int] = {}
+    total_length = 0.0
+    count = 0
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    for term in query.terms:
+        relation = data[term.relation]
+        rows_per_relation.setdefault(term.relation, len(relation))
+        for row in relation.rows:
+            interval = row.interval(term.attribute)
+            total_length += interval.length
+            count += 1
+            lo = interval.start if lo is None else min(lo, interval.start)
+            hi = interval.end if hi is None else max(hi, interval.end)
+    span = (hi - lo) if (lo is not None and hi is not None) else 1.0
+    return DataProfile(
+        total_rows=sum(rows_per_relation.values()),
+        rows_per_relation=rows_per_relation,
+        mean_length=(total_length / count) if count else 0.0,
+        time_span=max(span, 1e-9),
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated configuration."""
+
+    partitions: int
+    predicted_seconds: float
+    predicted_shuffled: float
+    predicted_max_load: float
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """The recommendation plus every candidate considered."""
+
+    best: Candidate
+    candidates: Tuple[Candidate, ...]
+    algorithm: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TuningReport({self.algorithm}: use {self.best.partitions} "
+            f"partitions, ~{self.best.predicted_seconds:.1f}s predicted)"
+        )
+
+
+def _predict_rccis(
+    profile: DataProfile, partitions: int, cost: CostModel
+) -> Candidate:
+    """Analytic RCCIS cost: two cycles; cycle 1 splits everything, cycle
+    2 projects the non-flagged and replicates boundary-crossers to half
+    the following partitions on average."""
+    n = profile.total_rows
+    width = profile.time_span / partitions
+    split_factor = 1.0 + (
+        profile.mean_length / width if width > 0 else 0.0
+    )
+    crossing_fraction = min(1.0, profile.mean_length / width) if width else 1.0
+    cycle1 = n * split_factor
+    replicated_pairs = n * crossing_fraction * (partitions / 2.0)
+    cycle2 = n + replicated_pairs
+    shuffled = cycle1 + cycle2
+    # Loads are near-uniform for uniform data; the straggler holds its
+    # partition's share of each cycle.
+    max_load = max(cycle1, cycle2) / partitions
+    seconds = (
+        2 * cost.per_cycle_overhead
+        + (2 * n / cost.parallelism) * cost.read_cost
+        + max(
+            shuffled / cost.parallelism * cost.shuffle_cost,
+            max_load * cost.shuffle_cost,
+        )
+        * 2  # two reduce phases of similar magnitude
+    )
+    return Candidate(partitions, seconds, shuffled, max_load)
+
+
+def recommend_partitions(
+    query: IntervalJoinQuery,
+    data: Mapping[str, Relation],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    candidates: Sequence[int] = (2, 4, 8, 16, 32, 64, 128),
+) -> TuningReport:
+    """Recommend a 1-dimensional partition count for RCCIS.
+
+    Only meaningful for colocation queries (the planner's RCCIS class).
+    """
+    if query.query_class is not QueryClass.COLOCATION:
+        raise PlanningError(
+            "recommend_partitions tunes RCCIS; use recommend_grid for "
+            f"{query.query_class.name} queries"
+        )
+    profile = profile_data(query, data)
+    evaluated = tuple(
+        _predict_rccis(profile, parts, cost_model) for parts in candidates
+    )
+    best = min(evaluated, key=lambda c: c.predicted_seconds)
+    return TuningReport(best=best, candidates=evaluated, algorithm="rccis")
+
+
+def _count_consistent_cells(
+    graph: JoinGraph, o: int
+) -> Tuple[int, List[float]]:
+    """Consistent-cell count plus, per dimension, the mean number of
+    consistent cells pinned at each coordinate (the routing fan-out)."""
+    dims = len(graph.components)
+    orders = graph.component_orders
+    total = 0
+    fanout_sums = [0.0] * dims
+    for cell in itertools.product(range(o), repeat=dims):
+        if all(cell[j] <= cell[k] for j, k in orders):
+            total += 1
+            for dim in range(dims):
+                fanout_sums[dim] += 1
+    if total == 0:
+        return 0, [0.0] * dims
+    # Rows pinned on dimension d reach (consistent cells with that
+    # coordinate); averaged over coordinates that is total / o.
+    return total, [total / o] * dims
+
+
+@dataclass(frozen=True)
+class ShareRecommendation:
+    """Per-dimension granularities (Afrati-style shares)."""
+
+    shares: Tuple[int, ...]
+    predicted_shuffled: float
+    predicted_max_cell_load: float
+    total_cells: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShareRecommendation(shares={self.shares}, "
+            f"cells={self.total_cells}, "
+            f"~{self.predicted_shuffled:.0f} pairs, "
+            f"~{self.predicted_max_cell_load:.0f}/cell)"
+        )
+
+
+def recommend_shares(
+    query: IntervalJoinQuery,
+    data: Mapping[str, Relation],
+    cell_budget: int = 64,
+    max_share: int = 16,
+) -> ShareRecommendation:
+    """Afrati-style share allocation: per-dimension granularities.
+
+    Afrati & Ullman size each dimension of a multi-way join's reducer
+    grid in proportion to how much data routes through it, minimising
+    communication subject to a reducer budget — the integration the paper
+    names as future work (Section 9.2).  Rows routed on dimension ``d``
+    fan out to roughly ``cells / o_d`` consistent cells, so total
+    communication is ``sum_d n_d * cells / o_d`` and the per-cell
+    (straggler) load is ``sum_d n_d / o_d`` — heavy dimensions deserve
+    large shares.  Minimising communication alone would always collapse
+    to one cell, so the objective is the cost-model's reduce-phase form:
+    ``max(communication / parallelism, straggler)``.  The discrete
+    optimum is found by exhaustive search over granularity vectors within
+    the cell budget (dimension counts are small — the paper's maximum is
+    four).
+
+    Returns shares usable directly as ``GenMatrix(grid_parts=shares)``.
+    """
+    graph = JoinGraph(query)
+    dims = len(graph.components)
+    if dims < 2:
+        raise PlanningError("share allocation needs >= 2 grid dimensions")
+    profile = profile_data(query, data)
+    rows_per_dim = [
+        sum(
+            profile.rows_per_relation.get(term.relation, 0)
+            for term in comp.terms
+        )
+        for comp in graph.components
+    ]
+
+    orders = graph.component_orders
+
+    def consistent_cells(shares: Sequence[int]) -> int:
+        count = 0
+        for cell in itertools.product(*(range(o) for o in shares)):
+            # Uniform per-dimension partitionings over one shared time
+            # range: coordinate i of granularity o covers fraction
+            # [i/o, (i+1)/o); an order (j, k) is possible unless dim j's
+            # slice starts at or after dim k's slice ends.
+            ok = True
+            for j, k in orders:
+                min_j = 0.0 if cell[j] == 0 else cell[j] / shares[j]
+                max_k = (
+                    1.0
+                    if cell[k] == shares[k] - 1
+                    else (cell[k] + 1) / shares[k]
+                )
+                if min_j >= max_k:
+                    ok = False
+                    break
+            if ok:
+                count += 1
+        return count
+
+    multi_dims = {
+        comp.index for comp in graph.components if len(comp.terms) > 1
+    }
+    parallelism = DEFAULT_COST_MODEL.parallelism
+    best: Optional[ShareRecommendation] = None
+    best_key: Optional[Tuple[float, int]] = None
+    for shares in itertools.product(range(1, max_share + 1), repeat=dims):
+        total = math.prod(shares)
+        if total > cell_budget:
+            continue
+        cells = consistent_cells(shares)
+        if cells == 0:
+            continue
+        shuffled = 0.0
+        flag_shuffled = 0.0
+        for dim, (rows, o) in enumerate(zip(rows_per_dim, shares)):
+            width = profile.time_span / o
+            crossing = min(1.0, profile.mean_length / width) if width else 1.0
+            if dim in multi_dims:
+                # Flag cycle splits the dimension's rows; flagged rows
+                # then fan out to roughly half the consistent cells.
+                flag_shuffled += rows * (1.0 + crossing)
+                fanout = (1 - crossing) * cells / o + crossing * cells / 2.0
+            else:
+                fanout = cells / o
+            shuffled += rows * fanout
+        straggler = shuffled / cells
+        phase = max(
+            (shuffled + flag_shuffled) / parallelism, straggler
+        )
+        key = (phase, cells)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = ShareRecommendation(
+                shares=tuple(shares),
+                predicted_shuffled=shuffled + flag_shuffled,
+                predicted_max_cell_load=straggler,
+                total_cells=cells,
+            )
+    assert best is not None  # shares=(1,...,1) always qualifies
+    return best
+
+
+def recommend_grid(
+    query: IntervalJoinQuery,
+    data: Mapping[str, Relation],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    candidates: Sequence[int] = (2, 3, 4, 5, 6, 8, 10, 12),
+) -> TuningReport:
+    """Recommend a per-dimension granularity ``o`` for the grid engine
+    (All-Matrix / All-Seq-Matrix / Gen-Matrix)."""
+    graph = JoinGraph(query)
+    dims = len(graph.components)
+    if dims < 2:
+        raise PlanningError(
+            "grid tuning needs >= 2 components; colocation queries use "
+            "recommend_partitions"
+        )
+    profile = profile_data(query, data)
+    # Rows routed per dimension: the rows of the relations whose terms
+    # live in that component.
+    rows_per_dim = [
+        sum(
+            profile.rows_per_relation.get(term.relation, 0)
+            for term in comp.terms
+        )
+        for comp in graph.components
+    ]
+    evaluated = []
+    for o in candidates:
+        cells, fanouts = _count_consistent_cells(graph, o)
+        if cells == 0:
+            continue
+        # Per-row fan-out on dimension d = consistent cells with that
+        # coordinate pinned = cells / o on average.
+        shuffled = sum(
+            rows * fanout for rows, fanout in zip(rows_per_dim, fanouts)
+        )
+        max_load = shuffled / cells
+        seconds = (
+            cost_model.per_cycle_overhead
+            + (profile.total_rows / cost_model.parallelism)
+            * cost_model.read_cost
+            + max(
+                shuffled / cost_model.parallelism * cost_model.shuffle_cost,
+                max_load * cost_model.shuffle_cost,
+            )
+        )
+        evaluated.append(Candidate(o, seconds, shuffled, max_load))
+    best = min(evaluated, key=lambda c: c.predicted_seconds)
+    return TuningReport(
+        best=best, candidates=tuple(evaluated), algorithm="grid"
+    )

@@ -1,0 +1,134 @@
+"""Join-output validation.
+
+The reference join certifies correctness at test scale, but benchmarks
+run sizes where an O(n^m) oracle is infeasible.  This module provides the
+checks that remain cheap at any scale:
+
+* every output tuple satisfies every query condition (soundness);
+* no tuple appears twice (the exactly-once ownership rule held);
+* tuple arity and relation membership are structurally correct;
+* optionally, a *sampled completeness* probe: for a random sample of
+  output tuples of one run, a second algorithm's output must contain
+  them (used pairwise by the benchmark harness, where full set equality
+  is also cheap since both outputs are in memory).
+
+`validate_result` raises :class:`ValidationError` with a precise
+description of the first violation, so a failing benchmark pinpoints the
+offending tuple.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from repro.errors import ReproError
+from repro.core.results import JoinResult
+from repro.core.schema import Relation
+
+__all__ = ["ValidationError", "validate_result", "assert_equivalent"]
+
+
+class ValidationError(ReproError):
+    """Raised when a join result violates a checked invariant."""
+
+
+def validate_result(
+    result: JoinResult,
+    data: Optional[Mapping[str, Relation]] = None,
+) -> None:
+    """Check soundness, uniqueness, and structure of a join result.
+
+    Parameters
+    ----------
+    result:
+        The result to check; its ``query`` drives the predicate checks.
+    data:
+        When given, each tuple's rows are verified to be actual rows of
+        their relations (guards against corrupted shuffles).
+    """
+    query = result.query
+    arity = len(query.relations)
+    seen = set()
+    rows_by_relation = (
+        {name: {row.rid: row for row in data[name].rows} for name in query.relations}
+        if data is not None
+        else None
+    )
+    for position, tuple_rows in enumerate(result.tuples):
+        if len(tuple_rows) != arity:
+            raise ValidationError(
+                f"tuple #{position} has arity {len(tuple_rows)}, "
+                f"expected {arity}"
+            )
+        ids = tuple(row.rid for row in tuple_rows)
+        if ids in seen:
+            raise ValidationError(
+                f"tuple {ids} emitted more than once "
+                f"(exactly-once ownership violated)"
+            )
+        seen.add(ids)
+        binding = dict(zip(query.relations, tuple_rows))
+        if rows_by_relation is not None:
+            for name, row in binding.items():
+                original = rows_by_relation[name].get(row.rid)
+                if original is None or original != row:
+                    raise ValidationError(
+                        f"tuple {ids}: row {row.rid} is not a row of "
+                        f"relation {name!r}"
+                    )
+        for cond in query.conditions:
+            left = binding[cond.left.relation].interval(cond.left.attribute)
+            right = binding[cond.right.relation].interval(
+                cond.right.attribute
+            )
+            if not cond.predicate.holds(left, right):
+                raise ValidationError(
+                    f"tuple {ids} violates {cond}: "
+                    f"{left} {cond.predicate.name} {right} is false"
+                )
+
+
+def assert_equivalent(
+    first: JoinResult,
+    second: JoinResult,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> None:
+    """Check two results agree (full set equality, or a sampled probe).
+
+    ``sample=None`` compares the full rid-tuple sets.  A positive
+    ``sample`` checks that many random tuples of each side exist in the
+    other — an O(sample) probe for gigantic outputs.
+    """
+    if sample is None:
+        if first.tuple_ids() != second.tuple_ids():
+            only_first = set(map(tuple, first.tuple_ids())) - set(
+                map(tuple, second.tuple_ids())
+            )
+            only_second = set(map(tuple, second.tuple_ids())) - set(
+                map(tuple, first.tuple_ids())
+            )
+            raise ValidationError(
+                f"{first.metrics.algorithm} vs {second.metrics.algorithm}: "
+                f"{len(only_first)} tuples only in the first "
+                f"(e.g. {sorted(only_first)[:3]}), {len(only_second)} only "
+                f"in the second (e.g. {sorted(only_second)[:3]})"
+            )
+        return
+    rng = random.Random(seed)
+    first_ids = set(map(tuple, first.tuple_ids()))
+    second_ids = set(map(tuple, second.tuple_ids()))
+    for name, source, target in (
+        (first.metrics.algorithm, first_ids, second_ids),
+        (second.metrics.algorithm, second_ids, first_ids),
+    ):
+        pool = list(source)
+        if not pool:
+            continue
+        for ids in rng.sample(pool, min(sample, len(pool))):
+            if ids not in target:
+                raise ValidationError(
+                    f"tuple {ids} produced by {name} is missing from the "
+                    "other result"
+                )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """Raised when an interval's end point precedes its start point."""
+
+
+class InvalidPartitioningError(ReproError, ValueError):
+    """Raised when a partitioning is empty, unsorted, or non-contiguous."""
+
+
+class UnknownPredicateError(ReproError, KeyError):
+    """Raised when a predicate name does not denote an Allen relation."""
+
+
+class QueryError(ReproError, ValueError):
+    """Raised for malformed join queries (unknown relations, bad predicates,
+    missing attributes, or contradictory conditions)."""
+
+
+class UnsatisfiableQueryError(QueryError):
+    """Raised when reasoning proves a query can never produce output.
+
+    For example two conditions that enforce opposite less-than orders
+    between the same pair of relations, or an Allen path-consistency
+    contradiction.
+    """
+
+
+class PlanningError(ReproError, ValueError):
+    """Raised when no algorithm can execute the given query class."""
+
+
+class MapReduceError(ReproError, RuntimeError):
+    """Raised when a simulated MapReduce job fails."""
+
+
+class FileSystemError(MapReduceError):
+    """Raised for errors in the simulated distributed file system."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Raised for invalid workload-generator configurations."""

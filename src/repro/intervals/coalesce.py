@@ -1,0 +1,136 @@
+"""Classic temporal-set operations: coalescing, gaps, coverage, clipping.
+
+These are the standard temporal-database companions to interval joins:
+workload generators use them to reason about densities, the analysis
+module uses them for concurrency profiles, and they round out the
+library for downstream users (the paper's packet-train construction is
+itself a coalescing of per-flow point events).
+
+All functions treat intervals as closed and operate on plain sequences,
+returning new lists; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import InvalidIntervalError
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "coalesce",
+    "gaps",
+    "total_coverage",
+    "clip",
+    "subtract",
+    "intersect_sets",
+]
+
+
+def coalesce(
+    intervals: Iterable[Interval], min_gap: float = 0.0
+) -> List[Interval]:
+    """Merge intervals whose gaps are at most ``min_gap``.
+
+    With the default ``min_gap = 0`` touching and overlapping intervals
+    merge (closed semantics: ``[0,2]`` and ``[2,5]`` share the point 2).
+    A positive ``min_gap`` additionally bridges short gaps — exactly the
+    packet-train rule with ``min_gap`` as the inter-arrival cut-off.
+
+    >>> coalesce([Interval(0, 2), Interval(2, 5), Interval(7, 8)])
+    [Interval(start=0, end=5), Interval(start=7, end=8)]
+    """
+    if min_gap < 0:
+        raise InvalidIntervalError("min_gap must be non-negative")
+    ordered = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+    merged: List[Interval] = []
+    for iv in ordered:
+        if merged and iv.start - merged[-1].end <= min_gap:
+            last = merged[-1]
+            if iv.end > last.end:
+                merged[-1] = Interval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def gaps(intervals: Iterable[Interval]) -> List[Interval]:
+    """The maximal uncovered intervals between coalesced runs.
+
+    >>> gaps([Interval(0, 2), Interval(5, 6)])
+    [Interval(start=2, end=5)]
+    """
+    merged = coalesce(intervals)
+    return [
+        Interval(a.end, b.start) for a, b in zip(merged, merged[1:])
+    ]
+
+
+def total_coverage(intervals: Iterable[Interval]) -> float:
+    """Total length of the union of the intervals."""
+    return sum(iv.length for iv in coalesce(intervals))
+
+
+def clip(
+    intervals: Iterable[Interval], window: Interval
+) -> List[Interval]:
+    """Intersect every interval with a window, dropping the disjoint."""
+    out: List[Interval] = []
+    for iv in intervals:
+        clipped = iv.intersection(window)
+        if clipped is not None:
+            out.append(clipped)
+    return out
+
+
+def subtract(
+    intervals: Iterable[Interval], holes: Iterable[Interval]
+) -> List[Interval]:
+    """The parts of ``intervals`` not covered by ``holes``.
+
+    Uses open-hole semantics on interior points: a hole removes its
+    closed span, and a surviving fragment keeps the hole's boundary
+    point only when it has positive extent beyond it.
+
+    >>> subtract([Interval(0, 10)], [Interval(3, 5)])
+    [Interval(start=0, end=3), Interval(start=5, end=10)]
+    """
+    merged_holes = coalesce(holes)
+    out: List[Interval] = []
+    for iv in coalesce(intervals):
+        cursor = iv.start
+        for hole in merged_holes:
+            if hole.end < cursor or hole.start > iv.end:
+                continue
+            if hole.start > cursor:
+                out.append(Interval(cursor, hole.start))
+            cursor = max(cursor, hole.end)
+            if cursor >= iv.end:
+                break
+        if cursor < iv.end:
+            out.append(Interval(cursor, iv.end))
+    return out
+
+
+def intersect_sets(
+    left: Iterable[Interval], right: Iterable[Interval]
+) -> List[Interval]:
+    """The union-of-intersections of two interval sets, coalesced.
+
+    >>> intersect_sets([Interval(0, 10)], [Interval(5, 20)])
+    [Interval(start=5, end=10)]
+    """
+    merged_left = coalesce(left)
+    merged_right = coalesce(right)
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(merged_left) and j < len(merged_right):
+        a, b = merged_left[i], merged_right[j]
+        common = a.intersection(b)
+        if common is not None:
+            out.append(common)
+        if a.end <= b.end:
+            i += 1
+        else:
+            j += 1
+    return coalesce(out)

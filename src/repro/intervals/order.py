@@ -1,0 +1,78 @@
+"""Less-than-order utilities (Section 5.1 of the paper).
+
+An interval ``u`` is *less than* interval ``v`` when ``u.start <= v.start``.
+Within a set of intervals the *left-most* (*right-most*) intervals are those
+whose start point is minimal (maximal); ties are allowed.
+
+These helpers are used throughout the algorithms: RCCIS sorts each
+reducer's intervals by less-than-order before searching for crossing sets,
+and every grid algorithm locates an output tuple's reducer via the
+right-most interval of each component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar, Callable
+
+from repro.errors import ReproError
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "less_than",
+    "sort_by_order",
+    "leftmost",
+    "rightmost",
+    "leftmost_all",
+    "rightmost_all",
+]
+
+T = TypeVar("T")
+
+
+def less_than(u: Interval, v: Interval) -> bool:
+    """The paper's less-than-order: ``u.start <= v.start``."""
+    return u.start <= v.start
+
+
+def sort_by_order(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort intervals by less-than-order (start point, then end point)."""
+    return sorted(intervals, key=lambda iv: (iv.start, iv.end))
+
+
+def _require_non_empty(items: Sequence[T]) -> None:
+    if not items:
+        raise ReproError("ordering over an empty interval collection")
+
+
+def leftmost(
+    items: Sequence[T], key: Callable[[T], Interval] = lambda x: x  # type: ignore[assignment]
+) -> T:
+    """An item whose interval has the minimal start point."""
+    _require_non_empty(items)
+    return min(items, key=lambda item: key(item).start)
+
+
+def rightmost(
+    items: Sequence[T], key: Callable[[T], Interval] = lambda x: x  # type: ignore[assignment]
+) -> T:
+    """An item whose interval has the maximal start point."""
+    _require_non_empty(items)
+    return max(items, key=lambda item: key(item).start)
+
+
+def leftmost_all(
+    items: Sequence[T], key: Callable[[T], Interval] = lambda x: x  # type: ignore[assignment]
+) -> List[T]:
+    """All items tied for the minimal start point."""
+    _require_non_empty(items)
+    best = min(key(item).start for item in items)
+    return [item for item in items if key(item).start == best]
+
+
+def rightmost_all(
+    items: Sequence[T], key: Callable[[T], Interval] = lambda x: x  # type: ignore[assignment]
+) -> List[T]:
+    """All items tied for the maximal start point."""
+    _require_non_empty(items)
+    best = max(key(item).start for item in items)
+    return [item for item in items if key(item).start == best]

@@ -1,0 +1,109 @@
+"""Consistent interval-sets and crossing interval-sets (Sections 5.2, 5.3).
+
+These are the two structural notions RCCIS is built on.  To keep this
+module free of any dependency on the query layer, a *condition* is the
+plain triple ``(left_relation, predicate, right_relation)`` and an
+*interval-set* is a mapping from relation name to the single interval the
+set holds for that relation (condition A1 — no two intervals of a set may
+come from the same relation — is thereby structural).
+
+The functions here are direct, checkable transcriptions of the paper's
+definitions; the production crossing-set *finder* used inside RCCIS lives
+in :mod:`repro.core.algorithms.crossing` and is validated against these
+definitions in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.intervals.allen import AllenPredicate, get_predicate
+from repro.intervals.interval import Interval
+from repro.intervals.partitioning import Partitioning
+
+__all__ = ["Condition", "normalize_conditions", "is_consistent", "crosses"]
+
+#: ``(left_relation_name, predicate, right_relation_name)``
+Condition = Tuple[str, AllenPredicate, str]
+
+
+def normalize_conditions(
+    conditions: Iterable[Tuple[str, Union[str, AllenPredicate], str]],
+) -> Tuple[Condition, ...]:
+    """Resolve predicate names to :class:`AllenPredicate` instances."""
+    return tuple(
+        (left, get_predicate(pred), right) for left, pred, right in conditions
+    )
+
+
+def is_consistent(
+    interval_set: Mapping[str, Interval],
+    conditions: Sequence[Condition],
+) -> bool:
+    """Whether an interval-set is *consistent* for the given query.
+
+    Condition A1 (one interval per relation) holds by construction of the
+    mapping; condition A2 requires every query condition whose two
+    relations are both present in the set to be satisfied by the
+    corresponding intervals.  Every subset of a consistent set is itself
+    consistent, since dropping relations only removes applicable
+    conditions.
+    """
+    for left, predicate, right in conditions:
+        if left in interval_set and right in interval_set:
+            if not predicate.holds(interval_set[left], interval_set[right]):
+                return False
+    return True
+
+
+def crosses(
+    interval_set: Mapping[str, Interval],
+    conditions: Sequence[Condition],
+    partitioning: Partitioning,
+    partition_index: int,
+) -> bool:
+    """Whether an interval-set *crosses* a partition-interval (Section 5.3).
+
+    The set crosses partition ``p`` when
+
+    * every member interval intersects ``p``, and
+    * for every query condition joining a member relation to an absent
+      relation: if the predicate enforces the member to start first (B1)
+      the member's end point lies beyond ``p``'s right boundary; if it
+      enforces the absent partner to start first (B2) the member's start
+      point lies before ``p``'s left boundary.  A predicate enforcing both
+      orders (equal starts) imposes both crossings, which is unsatisfiable
+      for a single partition — correctly so, because an equal-start partner
+      would itself intersect ``p`` and thus could never be absent.
+
+    Note the definition deliberately does *not* require the set to be
+    consistent; RCCIS checks consistency (C1) and crossing (C2) as separate
+    conditions.
+    """
+    part = partitioning.partition_interval(partition_index)
+    for interval in interval_set.values():
+        if not interval.intersects(part):
+            return False
+    present = set(interval_set)
+    for left, predicate, right in conditions:
+        if left in present and right not in present:
+            member = interval_set[left]
+            if predicate.enforces_left_first() and not partitioning.crosses_right(
+                member, partition_index
+            ):
+                return False
+            if predicate.enforces_right_first() and not partitioning.crosses_left(
+                member, partition_index
+            ):
+                return False
+        elif right in present and left not in present:
+            member = interval_set[right]
+            if predicate.enforces_left_first() and not partitioning.crosses_left(
+                member, partition_index
+            ):
+                return False
+            if predicate.enforces_right_first() and not partitioning.crosses_right(
+                member, partition_index
+            ):
+                return False
+    return True

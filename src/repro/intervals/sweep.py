@@ -1,0 +1,125 @@
+"""Plane-sweep primitives for 2-way interval joins.
+
+Every reducer-local join eventually enumerates interval pairs satisfying a
+single Allen predicate.  Two access paths are provided:
+
+* :func:`intersecting_pairs` — the classical endpoint sweep producing every
+  pair of intervals (one from each side) sharing at least one point, in
+  ``O(n log n + k)``.  All eleven colocation predicates imply intersection,
+  so their joins filter this stream.
+* :func:`before_pairs` — output-sensitive enumeration for the sequence
+  predicate ``before`` (``after`` is handled by swapping sides), using a
+  sorted prefix scan.
+
+Payloads travel with the intervals so callers can join arbitrary records.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Sequence, Tuple, TypeVar, Union
+
+from repro.intervals.allen import AFTER, BEFORE, AllenPredicate, get_predicate
+from repro.intervals.interval import Interval
+
+__all__ = ["intersecting_pairs", "before_pairs", "join_pairs"]
+
+L = TypeVar("L")
+R = TypeVar("R")
+
+Item = Tuple[Interval, L]
+
+
+def intersecting_pairs(
+    left: Sequence[Tuple[Interval, L]],
+    right: Sequence[Tuple[Interval, R]],
+) -> Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]]:
+    """All cross-side pairs of intervals sharing at least one point.
+
+    Implements the standard sort-merge interval intersection: both sides
+    are sorted by start; for each item the opposite side's active window
+    (items starting no later whose end has not yet passed) is scanned.
+    Each intersecting pair is produced exactly once.
+    """
+    ls = sorted(left, key=lambda item: item[0].start)
+    rs = sorted(right, key=lambda item: item[0].start)
+    i = j = 0
+    while i < len(ls) and j < len(rs):
+        li, ri = ls[i], rs[j]
+        if li[0].start <= ri[0].start:
+            # li is the next interval to open; pair it with every already-
+            # open right interval still covering li's start.
+            for k in range(j, len(rs)):
+                other = rs[k]
+                if other[0].start > li[0].end:
+                    break
+                if other[0].end >= li[0].start:
+                    yield li, other
+            i += 1
+        else:
+            for k in range(i, len(ls)):
+                other = ls[k]
+                if other[0].start > ri[0].end:
+                    break
+                if other[0].end >= ri[0].start:
+                    yield other, ri
+            j += 1
+    # Drain the remaining side against the other's still-open intervals.
+    while i < len(ls):
+        li = ls[i]
+        for k in range(j, len(rs)):
+            other = rs[k]
+            if other[0].start > li[0].end:
+                break
+            if other[0].end >= li[0].start:
+                yield li, other
+        i += 1
+    while j < len(rs):
+        ri = rs[j]
+        for k in range(i, len(ls)):
+            other = ls[k]
+            if other[0].start > ri[0].end:
+                break
+            if other[0].end >= ri[0].start:
+                yield other, ri
+        j += 1
+
+
+def before_pairs(
+    left: Sequence[Tuple[Interval, L]],
+    right: Sequence[Tuple[Interval, R]],
+) -> Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]]:
+    """All pairs with ``left.end < right.start`` (Allen ``before``).
+
+    Output-sensitive: the left side is sorted by end point once; each right
+    interval then pairs with the strict prefix of left intervals ending
+    before its start.
+    """
+    ls = sorted(left, key=lambda item: item[0].end)
+    ends = [item[0].end for item in ls]
+    for ri in right:
+        cutoff = bisect.bisect_left(ends, ri[0].start)
+        for k in range(cutoff):
+            yield ls[k], ri
+
+
+def join_pairs(
+    left: Sequence[Tuple[Interval, L]],
+    right: Sequence[Tuple[Interval, R]],
+    predicate: Union[str, AllenPredicate],
+) -> Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]]:
+    """All cross-side pairs satisfying one Allen predicate.
+
+    Dispatches to the appropriate sweep: colocation predicates filter the
+    intersection stream; ``before``/``after`` use the prefix scan.
+    """
+    pred = get_predicate(predicate)
+    if pred.name == BEFORE.name:
+        yield from before_pairs(left, right)
+    elif pred.name == AFTER.name:
+        for li, ri in before_pairs(right, left):
+            yield ri, li
+    else:
+        for li, ri in intersecting_pairs(left, right):
+            if pred.holds(li[0], ri[0]):
+                yield li, ri

@@ -1,0 +1,125 @@
+"""Relation serialisation: JSON-lines persistence and text parsing.
+
+Gives the CLI (and LocalFileSystem-backed pipelines) a durable on-disk
+format for relations:
+
+* JSON-lines: one object per row, interval attributes encoded as
+  ``{"start": s, "end": e}``, scalars as numbers;
+* a permissive text format for single-attribute relations: one interval
+  per line as ``start end`` (whitespace- or comma-separated), mirroring
+  how the paper's Hadoop jobs read HDFS lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Iterator, List
+
+from repro.errors import ReproError
+from repro.core.schema import AttributeValue, Relation, Row
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "encode_row",
+    "decode_row",
+    "save_relation",
+    "load_relation",
+    "parse_interval_lines",
+    "load_intervals_text",
+]
+
+
+def _encode_value(value: AttributeValue) -> Any:
+    if isinstance(value, Interval):
+        return {"start": value.start, "end": value.end}
+    return value
+
+
+def _decode_value(value: Any) -> AttributeValue:
+    if isinstance(value, dict):
+        try:
+            return Interval(float(value["start"]), float(value["end"]))
+        except KeyError:
+            raise ReproError(
+                f"malformed interval object {value!r}; expected "
+                "{'start': ..., 'end': ...}"
+            ) from None
+    return value
+
+
+def encode_row(row: Row) -> Dict[str, Any]:
+    """A JSON-able representation of one row."""
+    payload: Dict[str, Any] = {"rid": row.rid}
+    payload["values"] = {
+        name: _encode_value(value) for name, value in row.data
+    }
+    return payload
+
+
+def decode_row(payload: Dict[str, Any]) -> Row:
+    """The inverse of :func:`encode_row`."""
+    try:
+        rid = int(payload["rid"])
+        values = payload["values"]
+    except (KeyError, TypeError, ValueError):
+        raise ReproError(f"malformed row payload {payload!r}") from None
+    return Row.make(rid, {k: _decode_value(v) for k, v in values.items()})
+
+
+def save_relation(relation: Relation, path: str) -> int:
+    """Write a relation as JSON lines; returns the row count."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in relation.rows:
+            handle.write(json.dumps(encode_row(row)))
+            handle.write("\n")
+    return len(relation)
+
+
+def load_relation(path: str, name: str) -> Relation:
+    """Read a JSON-lines relation written by :func:`save_relation`."""
+    rows: List[Row] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: invalid JSON ({exc})"
+                ) from None
+            rows.append(decode_row(payload))
+    return Relation(name, rows)
+
+
+def parse_interval_lines(lines: Iterable[str]) -> Iterator[Interval]:
+    """Parse ``start end`` lines (whitespace or comma separated).
+
+    Blank lines and ``#`` comments are skipped.
+    """
+    for line_number, line in enumerate(lines, start=1):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.replace(",", " ").split()
+        if len(parts) != 2:
+            raise ReproError(
+                f"line {line_number}: expected 'start end', got {line!r}"
+            )
+        try:
+            start, end = float(parts[0]), float(parts[1])
+        except ValueError:
+            raise ReproError(
+                f"line {line_number}: non-numeric endpoints in {line!r}"
+            ) from None
+        yield Interval(start, end)
+
+
+def load_intervals_text(path: str, name: str) -> Relation:
+    """Read a single-attribute relation from a ``start end`` text file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Relation.of_intervals(name, parse_interval_lines(handle))

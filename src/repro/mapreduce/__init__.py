@@ -1,0 +1,54 @@
+"""A faithful in-process MapReduce simulator (the paper's Hadoop substrate).
+
+Public surface:
+
+* file systems — :class:`InMemoryFileSystem`, :class:`LocalFileSystem`
+* programming model — :class:`Mapper`, :class:`Reducer`, contexts
+* execution — :class:`JobConf`, :func:`run_job`, :class:`Pipeline`
+* measurement — :class:`Counters`, :class:`CostModel`
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.history import JobHistory, JobRecord
+from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
+from repro.mapreduce.fs import FileSystem, InMemoryFileSystem, LocalFileSystem
+from repro.mapreduce.job import InputSpec, JobConf, JobResult
+from repro.mapreduce.pipeline import Pipeline, PipelineResult
+from repro.mapreduce.runner import run_job
+from repro.mapreduce.shuffle import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinKeyPartitioner,
+)
+from repro.mapreduce.task import (
+    IdentityMapper,
+    MapContext,
+    Mapper,
+    ReduceContext,
+    Reducer,
+)
+
+__all__ = [
+    "Counters",
+    "JobHistory",
+    "JobRecord",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "FileSystem",
+    "InMemoryFileSystem",
+    "LocalFileSystem",
+    "InputSpec",
+    "JobConf",
+    "JobResult",
+    "Pipeline",
+    "PipelineResult",
+    "run_job",
+    "HashPartitioner",
+    "Partitioner",
+    "RoundRobinKeyPartitioner",
+    "IdentityMapper",
+    "MapContext",
+    "Mapper",
+    "ReduceContext",
+    "Reducer",
+]

@@ -1,0 +1,189 @@
+"""Simulated distributed file systems.
+
+The paper's jobs read relations from HDFS files and write partial results
+back between MapReduce cycles.  Two interchangeable implementations are
+provided behind one abstract interface:
+
+* :class:`InMemoryFileSystem` — the default for tests and benchmarks;
+  record lists keyed by path.
+* :class:`LocalFileSystem` — a directory-backed store that serialises
+  records as JSON lines (with a pluggable codec), so pipelines survive
+  process restarts and multi-process executors can share state.
+
+Paths are plain strings with ``/`` separators.  A "file" holds an ordered
+sequence of records; directories are implicit (a path prefix).  Output
+paths behave like Hadoop job outputs: writing to an existing path raises
+unless ``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import shutil
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import FileSystemError
+
+__all__ = ["FileSystem", "InMemoryFileSystem", "LocalFileSystem"]
+
+
+class FileSystem(abc.ABC):
+    """Abstract record-oriented file system."""
+
+    @abc.abstractmethod
+    def write(
+        self, path: str, records: Iterable[Any], overwrite: bool = False
+    ) -> int:
+        """Write ``records`` to ``path``; returns the record count.
+
+        Raises :class:`FileSystemError` if the path exists and
+        ``overwrite`` is false (mirrors Hadoop's output-path check).
+        """
+
+    @abc.abstractmethod
+    def read(self, path: str) -> Iterator[Any]:
+        """Iterate over the records stored at ``path``."""
+
+    @abc.abstractmethod
+    def exists(self, path: str) -> bool:
+        """Whether a file exists at ``path``."""
+
+    @abc.abstractmethod
+    def delete(self, path: str) -> None:
+        """Remove the file at ``path`` (no-op when absent)."""
+
+    @abc.abstractmethod
+    def list_prefix(self, prefix: str) -> List[str]:
+        """All file paths starting with ``prefix``, sorted."""
+
+    # ------------------------------------------------------------------
+    def append_partition(self, base: str, index: int, records: Iterable[Any]) -> str:
+        """Write one ``part-NNNNN`` file under ``base`` (Hadoop layout)."""
+        path = f"{base}/part-{index:05d}"
+        self.write(path, records, overwrite=True)
+        return path
+
+    def read_dir(self, base: str) -> Iterator[Any]:
+        """Iterate over all records in all part files under ``base``."""
+        paths = self.list_prefix(base.rstrip("/") + "/")
+        if not paths and self.exists(base):
+            paths = [base]
+        for path in paths:
+            yield from self.read(path)
+
+    def count(self, path: str) -> int:
+        """Number of records at ``path`` (or under it as a directory)."""
+        return sum(1 for _ in self.read_dir(path))
+
+
+class InMemoryFileSystem(FileSystem):
+    """A dict-backed file system; the default substrate for simulations."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, List[Any]] = {}
+
+    def write(
+        self, path: str, records: Iterable[Any], overwrite: bool = False
+    ) -> int:
+        if path in self._files and not overwrite:
+            raise FileSystemError(f"output path already exists: {path!r}")
+        stored = list(records)
+        self._files[path] = stored
+        return len(stored)
+
+    def read(self, path: str) -> Iterator[Any]:
+        try:
+            records = self._files[path]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path!r}") from None
+        return iter(list(records))
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+
+class LocalFileSystem(FileSystem):
+    """A real-directory-backed file system serialising JSON lines.
+
+    Parameters
+    ----------
+    root:
+        Directory under which all paths live.
+    encode / decode:
+        Record codec; defaults to JSON.  Supply custom callables to store
+        rich objects (e.g. ``Interval`` tuples).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        encode: Optional[Callable[[Any], Any]] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._encode = encode or (lambda record: record)
+        self._decode = decode or (lambda record: record)
+
+    def _resolve(self, path: str) -> str:
+        clean = os.path.normpath(path.strip("/"))
+        if clean.startswith(".."):
+            raise FileSystemError(f"path escapes file system root: {path!r}")
+        return os.path.join(self.root, clean)
+
+    def write(
+        self, path: str, records: Iterable[Any], overwrite: bool = False
+    ) -> int:
+        target = self._resolve(path)
+        if os.path.exists(target) and not overwrite:
+            raise FileSystemError(f"output path already exists: {path!r}")
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        count = 0
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(self._encode(record)))
+                handle.write("\n")
+                count += 1
+        return count
+
+    def read(self, path: str) -> Iterator[Any]:
+        target = self._resolve(path)
+        if not os.path.isfile(target):
+            raise FileSystemError(f"no such file: {path!r}")
+
+        def _iterate() -> Iterator[Any]:
+            with open(target, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield self._decode(json.loads(line))
+
+        return _iterate()
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._resolve(path))
+
+    def delete(self, path: str) -> None:
+        target = self._resolve(path)
+        if os.path.isfile(target):
+            os.remove(target)
+        elif os.path.isdir(target):
+            shutil.rmtree(target)
+
+    def list_prefix(self, prefix: str) -> List[str]:
+        found: List[str] = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, self.root).replace(os.sep, "/")
+                if rel.startswith(prefix.strip("/")):
+                    found.append(rel)
+        return sorted(found)

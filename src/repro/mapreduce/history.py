@@ -1,0 +1,106 @@
+"""Job history: durable, structured records of executed jobs.
+
+Hadoop's JobHistory server is how one audits what a pipeline actually
+did; this is its simulator analogue.  A :class:`JobHistory` collects
+per-job summaries (counters, loads, outputs), serialises to/from JSON,
+and renders comparison summaries — the benchmark harness can persist a
+run's history next to its tables so results stay auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.pipeline import PipelineResult
+
+__all__ = ["JobRecord", "JobHistory"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """The durable summary of one executed job."""
+
+    name: str
+    map_input_records: int
+    map_output_records: int
+    shuffled_records: int
+    reduce_input_groups: int
+    output_records: int
+    reduce_task_loads: List[int]
+    user_counters: Dict[str, Dict[str, int]]
+
+    @classmethod
+    def from_result(cls, result: JobResult) -> "JobRecord":
+        counters = result.counters
+        user = {
+            group: dict(names)
+            for group, names in counters.as_dict().items()
+            if group != "framework"
+        }
+        return cls(
+            name=result.name,
+            map_input_records=counters.value("framework", "map_input_records"),
+            map_output_records=result.map_output_records,
+            shuffled_records=result.shuffled_records,
+            reduce_input_groups=counters.value(
+                "framework", "reduce_input_groups"
+            ),
+            output_records=result.output_records,
+            reduce_task_loads=list(result.reduce_task_loads),
+            user_counters=user,
+        )
+
+    @property
+    def max_reduce_task_load(self) -> int:
+        return max(self.reduce_task_loads, default=0)
+
+
+class JobHistory:
+    """An append-only log of job records."""
+
+    def __init__(self, records: Optional[List[JobRecord]] = None) -> None:
+        self.records: List[JobRecord] = list(records or [])
+
+    # ------------------------------------------------------------------
+    def record(self, result: JobResult) -> JobRecord:
+        entry = JobRecord.from_result(result)
+        self.records.append(entry)
+        return entry
+
+    def record_pipeline(self, pipeline: PipelineResult) -> List[JobRecord]:
+        return [self.record(job) for job in pipeline.jobs]
+
+    # ------------------------------------------------------------------
+    def totals(self) -> Dict[str, int]:
+        """Aggregate framework measurements across recorded jobs."""
+        return {
+            "jobs": len(self.records),
+            "map_input_records": sum(
+                r.map_input_records for r in self.records
+            ),
+            "shuffled_records": sum(r.shuffled_records for r in self.records),
+            "output_records": sum(r.output_records for r in self.records),
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([asdict(r) for r in self.records], handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "JobHistory":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls([JobRecord(**entry) for entry in payload])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

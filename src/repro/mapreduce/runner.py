@@ -1,0 +1,164 @@
+"""Job execution engines.
+
+:func:`run_job` executes one configured job against a file system.  Two
+executors are available:
+
+* ``"serial"`` — deterministic single-threaded execution (default; what
+  tests and benchmarks use — parallelism is *simulated* by the cost model,
+  which is how the paper's cluster numbers are reproduced in shape).
+* ``"threads"`` — reduce tasks run on a thread pool.  Useful for smoke-
+  testing that task code is self-contained; CPython's GIL means this is
+  about realism of the execution model, not speed.
+
+Execution follows Hadoop's lifecycle: per-input map tasks (setup, map each
+record, cleanup), optional per-map-task combiner, sort-shuffle, reduce
+tasks (setup, reduce each key group in key order, cleanup), each reduce
+task writing one ``part-*`` file under the job's output path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.errors import MapReduceError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.fs import FileSystem
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.task import MapContext, ReduceContext, Reducer
+
+__all__ = ["run_job"]
+
+
+def _run_map_phase(
+    fs: FileSystem, conf: JobConf, counters: Counters
+) -> List[Tuple[Hashable, Any]]:
+    """Run all map tasks; returns the intermediate pair stream."""
+    pairs: List[Tuple[Hashable, Any]] = []
+    for spec in conf.inputs:
+        context = MapContext(counters, spec.path)
+        spec.mapper.setup(context)
+        for record in fs.read_dir(spec.path):
+            counters.increment("framework", "map_input_records")
+            spec.mapper.map(record, context)
+        spec.mapper.cleanup(context)
+        task_pairs = context.drain()
+        counters.increment("framework", "map_output_records", len(task_pairs))
+        if conf.combiner is not None:
+            task_pairs = _run_combiner(conf.combiner, task_pairs, counters)
+        pairs.extend(task_pairs)
+    return pairs
+
+
+def _run_combiner(
+    combiner: Reducer,
+    pairs: List[Tuple[Hashable, Any]],
+    counters: Counters,
+) -> List[Tuple[Hashable, Any]]:
+    """Apply a combiner to one map task's output, Hadoop style: the
+    combiner reduces each key's values locally and re-emits pairs under
+    the same key."""
+    counters.increment("framework", "combine_input_records", len(pairs))
+    grouped: Dict[Hashable, List[Any]] = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    combined: List[Tuple[Hashable, Any]] = []
+    context = ReduceContext(counters, task_index=-1)
+    combiner.setup(context)
+    for key in sorted(grouped.keys(), key=repr):
+        combiner.reduce(key, grouped[key], context)
+        for record in context.drain():
+            combined.append((key, record))
+    combiner.cleanup(context)
+    counters.increment("framework", "combine_output_records", len(combined))
+    return combined
+
+
+def _run_reduce_task(
+    conf: JobConf,
+    task_index: int,
+    groups: List[Tuple[Hashable, List[Any]]],
+) -> Tuple[List[Any], Counters]:
+    """Run one physical reduce task over its key groups."""
+    counters = Counters()
+    context = ReduceContext(counters, task_index)
+    conf.reducer.setup(context)
+    output: List[Any] = []
+    for key, values in groups:
+        counters.increment("framework", "reduce_input_groups")
+        counters.increment("framework", "reduce_input_records", len(values))
+        conf.reducer.reduce(key, values, context)
+        output.extend(context.drain())
+    conf.reducer.cleanup(context)
+    output.extend(context.drain())
+    counters.increment("framework", "reduce_output_records", len(output))
+    return output, counters
+
+
+def run_job(fs: FileSystem, conf: JobConf, executor: str = "serial") -> JobResult:
+    """Execute one MapReduce job and return its measurements.
+
+    Parameters
+    ----------
+    fs:
+        The file system holding the inputs; outputs are written back to it.
+    conf:
+        The job configuration.
+    executor:
+        ``"serial"`` or ``"threads"``.
+    """
+    if conf.num_reduce_tasks < 1:
+        raise MapReduceError("a job needs at least one reduce task")
+    if not conf.inputs:
+        raise MapReduceError(f"job {conf.name!r} has no inputs")
+    counters = Counters()
+
+    pairs = _run_map_phase(fs, conf, counters)
+    counters.increment("framework", "shuffle_records", len(pairs))
+
+    logical_loads: Dict[Hashable, int] = defaultdict(int)
+    for key, _ in pairs:
+        logical_loads[key] += 1
+
+    tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
+    reduce_task_loads = [
+        sum(len(values) for _, values in groups) for groups in tasks
+    ]
+
+    if executor == "serial":
+        results = [
+            _run_reduce_task(conf, index, groups)
+            for index, groups in enumerate(tasks)
+        ]
+    elif executor == "threads":
+        with ThreadPoolExecutor() as pool:
+            futures = [
+                pool.submit(_run_reduce_task, conf, index, groups)
+                for index, groups in enumerate(tasks)
+            ]
+            results = [future.result() for future in futures]
+    else:
+        raise MapReduceError(f"unknown executor {executor!r}")
+
+    total_output = 0
+    task_outputs: List[int] = []
+    task_comparisons: List[int] = []
+    for index, (records, task_counters) in enumerate(results):
+        counters.merge(task_counters)
+        fs.append_partition(conf.output, index, records)
+        total_output += len(records)
+        task_outputs.append(len(records))
+        task_comparisons.append(task_counters.value("work", "comparisons"))
+
+    return JobResult(
+        name=conf.name,
+        counters=counters,
+        reduce_task_loads=reduce_task_loads,
+        logical_reducer_loads=dict(logical_loads),
+        output=conf.output,
+        output_records=total_output,
+        reduce_task_outputs=task_outputs,
+        reduce_task_comparisons=task_comparisons,
+    )

@@ -1,0 +1,92 @@
+"""The sort-shuffle: routing intermediate pairs to reduce tasks.
+
+Hadoop hashes each key to one of ``num_reduce_tasks`` partitions, then
+sorts and groups pairs by key within each partition.  The paper's
+algorithms use the intermediate *key* as the logical reducer id (a
+partition-interval index or a grid coordinate tuple); several logical
+reducers may share one physical reduce task, which is exactly how a
+fixed-size Hadoop cluster executes an ``o^m``-cell reducer grid.
+
+Partitioners are pluggable.  :class:`HashPartitioner` reproduces Hadoop's
+default.  :class:`RoundRobinKeyPartitioner` assigns distinct keys to tasks
+in sorted-key round-robin order, which gives deterministic, maximally even
+key spreading for benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RoundRobinKeyPartitioner",
+    "shuffle",
+]
+
+
+class Partitioner(abc.ABC):
+    """Maps an intermediate key to a physical reduce task index."""
+
+    def prepare(self, keys: Sequence[Hashable]) -> None:
+        """Optional hook receiving the distinct key set before routing
+        (lets stateful partitioners build a key->task table)."""
+
+    @abc.abstractmethod
+    def partition(self, key: Hashable, num_tasks: int) -> int:
+        """The reduce task (``0 <= result < num_tasks``) owning ``key``."""
+
+
+class HashPartitioner(Partitioner):
+    """Hadoop's default: ``hash(key) mod num_tasks``."""
+
+    def partition(self, key: Hashable, num_tasks: int) -> int:
+        return hash(key) % num_tasks
+
+
+class RoundRobinKeyPartitioner(Partitioner):
+    """Deterministic even spreading of distinct keys across tasks.
+
+    Keys are sorted and dealt round-robin, so two runs over the same key
+    set always produce the same task assignment — convenient for
+    reproducible load-balance measurements.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, int] = {}
+
+    def prepare(self, keys: Sequence[Hashable]) -> None:
+        self._table = {
+            key: index for index, key in enumerate(sorted(keys, key=repr))
+        }
+
+    def partition(self, key: Hashable, num_tasks: int) -> int:
+        return self._table.get(key, 0) % num_tasks
+
+
+def shuffle(
+    pairs: Iterable[Tuple[Hashable, Any]],
+    num_tasks: int,
+    partitioner: Partitioner,
+) -> List[List[Tuple[Hashable, List[Any]]]]:
+    """Group pairs by key and assign key groups to reduce tasks.
+
+    Returns one list of ``(key, values)`` groups per reduce task, with
+    groups sorted by key representation within each task (Hadoop's sorted
+    reduce input order).
+    """
+    grouped: Dict[Hashable, List[Any]] = defaultdict(list)
+    for key, value in pairs:
+        grouped[key].append(value)
+    partitioner.prepare(list(grouped.keys()))
+    tasks: List[List[Tuple[Hashable, List[Any]]]] = [[] for _ in range(num_tasks)]
+    for key in sorted(grouped.keys(), key=repr):
+        index = partitioner.partition(key, num_tasks)
+        if not 0 <= index < num_tasks:
+            raise ValueError(
+                f"partitioner routed key {key!r} to invalid task {index}"
+            )
+        tasks[index].append((key, grouped[key]))
+    return tasks

@@ -1,0 +1,12 @@
+"""Shared value types for the MapReduce simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+__all__ = ["KeyValue"]
+
+#: An intermediate key-value pair emitted by a mapper.  Keys must be
+#: hashable and, within one job, mutually comparable (the shuffle sorts by
+#: key, mirroring Hadoop's sort-shuffle).
+KeyValue = Tuple[Hashable, Any]

@@ -1,0 +1,14 @@
+"""Measurement post-processing: load-balance statistics and the ASCII
+table renderer used by the benchmark harness."""
+
+from repro.stats.metrics import LoadBalance, jain_fairness, load_balance
+from repro.stats.reporting import human_count, human_seconds, render_table
+
+__all__ = [
+    "LoadBalance",
+    "human_count",
+    "human_seconds",
+    "jain_fairness",
+    "load_balance",
+    "render_table",
+]

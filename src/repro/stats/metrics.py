@@ -1,0 +1,71 @@
+"""Load-balance and communication metrics.
+
+The paper's Section 7 argues entirely in terms of per-reducer load
+distributions (Figure 4) and intermediate pair counts (Tables 1-3).  This
+module turns the simulator's raw measurements into the summary statistics
+the benchmark harness tabulates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["LoadBalance", "load_balance", "jain_fairness"]
+
+
+def jain_fairness(loads: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly balanced, 1/n = one hot spot.
+
+    ``J = (sum x)^2 / (n * sum x^2)`` over the per-reducer loads.
+    """
+    values = [x for x in loads if x >= 0]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(x * x for x in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class LoadBalance:
+    """Summary of a per-reducer load distribution."""
+
+    reducers: int
+    total: int
+    max_load: int
+    mean_load: float
+    stdev: float
+    imbalance: float  #: max / mean (1.0 = perfect)
+    fairness: float  #: Jain's index
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LoadBalance(n={self.reducers}, max={self.max_load}, "
+            f"mean={self.mean_load:.1f}, imbalance={self.imbalance:.2f}, "
+            f"jain={self.fairness:.3f})"
+        )
+
+
+def load_balance(loads: Mapping[Hashable, int]) -> LoadBalance:
+    """Summarise a logical-reducer load mapping."""
+    values = list(loads.values())
+    n = len(values)
+    if n == 0:
+        return LoadBalance(0, 0, 0, 0.0, 0.0, 1.0, 1.0)
+    total = sum(values)
+    mean = total / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    max_load = max(values)
+    return LoadBalance(
+        reducers=n,
+        total=total,
+        max_load=max_load,
+        mean_load=mean,
+        stdev=math.sqrt(variance),
+        imbalance=(max_load / mean) if mean > 0 else 1.0,
+        fairness=jain_fairness(values),
+    )

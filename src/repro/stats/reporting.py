@@ -1,0 +1,57 @@
+"""ASCII table rendering for the benchmark harness.
+
+Keeps the harness output close to the paper's tables: fixed columns,
+human-scaled numbers (K/M suffixes), and a caption line naming the
+reproduced table/figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["human_count", "human_seconds", "render_table"]
+
+
+def human_count(value: float) -> str:
+    """1234567 -> '1.2M', 45300 -> '45.3K', 987 -> '987'."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}K"
+    return f"{value:.0f}" if float(value).is_integer() else f"{value:.2f}"
+
+
+def human_seconds(seconds: float) -> str:
+    """Modelled seconds as mm:ss (or h:mm:ss beyond an hour)."""
+    total = int(round(seconds))
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes:02d}:{secs:02d}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a caption."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.rjust(widths[index]) for index, cell in enumerate(cells)
+        )
+
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [title, fmt(list(headers)), divider]
+    lines.extend(fmt(row) for row in str_rows)
+    if note:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

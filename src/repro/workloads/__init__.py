@@ -1,0 +1,45 @@
+"""Workload generators: the paper's synthetic interval script, synthetic
+MAWI-style packet traces with packet-train construction, spatial
+rectangles, and environmental-monitoring episodes."""
+
+from repro.workloads.distributions import DISTRIBUTIONS, make_sampler
+from repro.workloads.packets import (
+    TRACE_PROFILES,
+    Packet,
+    TraceProfile,
+    build_packet_trains,
+    generate_trace,
+    replicate_trains,
+    trains_relation,
+)
+from repro.workloads.spatial import (
+    RectangleConfig,
+    generate_rectangles,
+    rectangles_intersect,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_intervals,
+    generate_relation,
+)
+from repro.workloads.weather import WeatherConfig, generate_weather_episodes
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "Packet",
+    "RectangleConfig",
+    "SyntheticConfig",
+    "TRACE_PROFILES",
+    "TraceProfile",
+    "WeatherConfig",
+    "build_packet_trains",
+    "generate_intervals",
+    "generate_rectangles",
+    "generate_relation",
+    "generate_trace",
+    "generate_weather_episodes",
+    "make_sampler",
+    "rectangles_intersect",
+    "replicate_trains",
+    "trains_relation",
+]

@@ -1,0 +1,221 @@
+"""Synthetic MAWI-style packet traces and packet trains (Section 6.2).
+
+The paper uses 15-minute extracts of the WIDE trans-Pacific backbone
+(MAWI repository), builds *packet trains* — maximal runs of packets on one
+(source, destination) pair whose inter-arrival gaps stay below a cut-off —
+and joins the train intervals.  The real traces are not redistributable,
+so this module generates statistically similar traffic:
+
+* flows (source/destination pairs) arrive as a Poisson process over the
+  trace window;
+* each flow emits packets in bursts: burst sizes are heavy-tailed
+  (Pareto), intra-burst gaps are short log-normals, inter-burst gaps are
+  long log-normals — the bimodal gap structure that makes the train
+  cut-off meaningful (Jain & Routhier's packet-train model);
+* six profiles ``P03`` … ``P08`` mirror the paper's Table 2: widely
+  varying packet counts (the paper's 0.2M–9.1M, scaled down by a common
+  factor) and train/packet ratios.
+
+The joinable artefacts are the *train intervals* ``[first packet arrival,
+last packet arrival]`` — exactly what the paper feeds its star self-join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "Packet",
+    "TraceProfile",
+    "TRACE_PROFILES",
+    "generate_trace",
+    "build_packet_trains",
+    "replicate_trains",
+    "trains_relation",
+]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured packet: arrival time and flow identity."""
+
+    time: float
+    source: int
+    destination: int
+
+    @property
+    def flow(self) -> Tuple[int, int]:
+        return (self.source, self.destination)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Shape parameters of one synthetic trace.
+
+    ``n_packets`` follows the paper's Table 2 ratios; ``n_flows`` tunes
+    how many packet trains emerge; ``burstiness`` scales the inter-burst
+    gaps (larger -> more, shorter trains).
+    """
+
+    name: str
+    date: str
+    n_packets: int
+    n_flows: int
+    burstiness: float = 1.0
+    duration_seconds: float = 900.0  # the paper's 15-minute extracts
+
+
+#: Six profiles mirroring Table 2's packet counts (paper values / 100) and
+#: the paper's dates.  Train counts emerge from the generator but land in
+#: the same relative ordering as the paper's (#trains grows with packets
+#: but sub-linearly for the busy 2007/2008 traces).
+TRACE_PROFILES: Dict[str, TraceProfile] = {
+    "P03": TraceProfile("P03", "01-01-03", 15_000, 1_200, 1.0),
+    "P04": TraceProfile("P04", "01-01-04", 2_000, 180, 1.0),
+    "P05": TraceProfile("P05", "15-01-05", 29_000, 2_100, 1.0),
+    "P06": TraceProfile("P06", "01-01-06", 34_000, 3_500, 1.2),
+    "P07": TraceProfile("P07", "15-01-07", 91_000, 3_600, 0.6),
+    "P08": TraceProfile("P08", "01-01-08", 73_000, 3_100, 0.7),
+}
+
+
+def generate_trace(
+    profile: TraceProfile, seed: Optional[int] = None
+) -> List[Packet]:
+    """Generate one synthetic packet trace, sorted by arrival time."""
+    if profile.n_packets < 0 or profile.n_flows <= 0:
+        raise WorkloadError("profile needs n_packets >= 0, n_flows > 0")
+    rng = np.random.default_rng(seed)
+    packets: List[Packet] = []
+    # Distribute the packet budget over flows with a heavy tail: a few
+    # elephant flows, many mice — characteristic of backbone traffic.
+    weights = rng.pareto(a=1.5, size=profile.n_flows) + 1.0
+    weights /= weights.sum()
+    per_flow = rng.multinomial(profile.n_packets, weights)
+
+    for flow_id, count in enumerate(per_flow):
+        if count == 0:
+            continue
+        source = flow_id
+        destination = 10_000 + flow_id
+        flow_start = rng.random() * profile.duration_seconds * 0.9
+        t = flow_start
+        remaining = int(count)
+        while remaining > 0:
+            burst = min(remaining, 1 + int(rng.pareto(a=1.2)))
+            for _ in range(burst):
+                packets.append(Packet(t, source, destination))
+                # Intra-burst gaps: tens of milliseconds.
+                t += float(rng.lognormal(mean=-3.5, sigma=0.6))
+            remaining -= burst
+            # Inter-burst gaps: seconds — above any sane train cut-off.
+            t += float(
+                rng.lognormal(mean=0.8, sigma=0.8) * profile.burstiness
+            )
+            if t > profile.duration_seconds:
+                break
+    packets.sort(key=lambda p: p.time)
+    return packets
+
+
+def build_packet_trains(
+    packets: Iterable[Packet], gap_threshold: float = 0.5
+) -> List[Interval]:
+    """The paper's packet-train construction.
+
+    A train is a maximal run of same-flow packets whose consecutive
+    inter-arrival gaps are below ``gap_threshold`` (the paper uses
+    500 ms).  The returned intervals run from the first to the last packet
+    arrival of each train.
+    """
+    if gap_threshold <= 0:
+        raise WorkloadError("gap_threshold must be positive")
+    last_time: Dict[Tuple[int, int], float] = {}
+    train_start: Dict[Tuple[int, int], float] = {}
+    trains: List[Interval] = []
+    for packet in sorted(packets, key=lambda p: p.time):
+        flow = packet.flow
+        if flow in last_time and packet.time - last_time[flow] <= gap_threshold:
+            last_time[flow] = packet.time
+            continue
+        if flow in train_start:
+            trains.append(Interval(train_start[flow], last_time[flow]))
+        train_start[flow] = packet.time
+        last_time[flow] = packet.time
+    for flow, start in train_start.items():
+        trains.append(Interval(start, last_time[flow]))
+    trains.sort(key=lambda iv: (iv.start, iv.end))
+    return trains
+
+
+def replicate_trains(
+    trains: Sequence[Interval],
+    target: int,
+    seed: Optional[int] = None,
+) -> List[Interval]:
+    """Scale a train set up to ``target`` intervals by replication.
+
+    The paper replicates each trace's trains to a fixed 3M-train data set.
+    Copies are jittered by a tiny fraction of the trace span so replicas
+    are not bit-identical (plain copies would make every join result an
+    exact multiple, hiding load-balance effects).
+    """
+    if target < 0:
+        raise WorkloadError("target must be non-negative")
+    if not trains:
+        return []
+    rng = np.random.default_rng(seed)
+    span = max(iv.end for iv in trains) - min(iv.start for iv in trains)
+    jitter_scale = max(span * 1e-6, 1e-9)
+    out: List[Interval] = []
+    index = 0
+    while len(out) < target:
+        base = trains[index % len(trains)]
+        jitter = float(rng.normal(0.0, jitter_scale))
+        out.append(Interval(base.start + jitter, base.end + jitter))
+        index += 1
+    return out
+
+
+def compress_time(
+    trains: Sequence[Interval], factor: float
+) -> List[Interval]:
+    """Shrink the observation window by ``factor``, keeping durations.
+
+    Start points are divided by ``factor`` while each train keeps its
+    length, multiplying temporal concurrency by ``factor``.  Down-scaled
+    reproductions use this to preserve the paper's *offered load* (trains
+    per unit time): replicating 18K trains to 3M within one 15-minute
+    window, as the paper does, packs trains ~170x denser than the source
+    trace; generating 1/500 of the trains in the same window would
+    otherwise dilute density by the same factor and change which
+    algorithm wins.
+    """
+    if factor <= 0:
+        raise WorkloadError("compression factor must be positive")
+    return [
+        Interval(iv.start / factor, iv.start / factor + iv.length)
+        for iv in trains
+    ]
+
+
+def trains_relation(
+    name: str,
+    profile: TraceProfile,
+    gap_threshold: float = 0.5,
+    target: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Relation:
+    """End-to-end helper: trace -> trains -> (optionally scaled) relation."""
+    packets = generate_trace(profile, seed=seed)
+    trains = build_packet_trains(packets, gap_threshold=gap_threshold)
+    if target is not None:
+        trains = replicate_trains(trains, target, seed=seed)
+    return Relation.of_intervals(name, trains)

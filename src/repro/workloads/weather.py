@@ -1,0 +1,90 @@
+"""Environmental-monitoring episodes (the paper's opening example).
+
+The paper motivates interval joins with spatio-temporal environment data:
+for each location, the periods of high wind speed, high temperature and
+high pollutant concentration form interval relations, and the analyst
+asks for triples where the high-temperature and high-pollution episodes
+are *contained* in a high-wind episode.
+
+This generator simulates per-location sensor episodes: weather regimes
+arrive over the observation window; during a regime, correlated episodes
+of the three phenomena are emitted with realistic containment structure
+(wind episodes are long; temperature/pollution episodes nest inside them
+with some probability, else float freely), so the contains-join has a
+non-trivial, location-dependent answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+__all__ = ["WeatherConfig", "generate_weather_episodes"]
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Episode generator configuration (times in hours)."""
+
+    n_regimes: int = 40
+    window: Tuple[float, float] = (0.0, 24.0 * 30)  # one month
+    wind_duration: Tuple[float, float] = (6.0, 48.0)
+    nested_fraction: float = 0.7
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_regimes < 0:
+            raise WorkloadError("n_regimes must be non-negative")
+        if not 0.0 <= self.nested_fraction <= 1.0:
+            raise WorkloadError("nested_fraction must be within [0, 1]")
+
+
+def generate_weather_episodes(
+    config: WeatherConfig,
+) -> Dict[str, Relation]:
+    """Relations ``wind``, ``temperature``, ``pollution`` of episodes."""
+    rng = np.random.default_rng(config.seed)
+    lo, hi = config.window
+    wind: List[Interval] = []
+    temperature: List[Interval] = []
+    pollution: List[Interval] = []
+
+    for _ in range(config.n_regimes):
+        d_lo, d_hi = config.wind_duration
+        duration = d_lo + rng.random() * (d_hi - d_lo)
+        start = lo + rng.random() * max(hi - lo - duration, 1.0)
+        wind_iv = Interval(start, min(start + duration, hi))
+        wind.append(wind_iv)
+
+        for sink in (temperature, pollution):
+            if rng.random() < config.nested_fraction and wind_iv.length > 2.0:
+                # Nest a shorter episode strictly inside the wind episode.
+                inner_len = wind_iv.length * (0.2 + 0.5 * rng.random())
+                margin = (wind_iv.length - inner_len) or 1.0
+                inner_start = wind_iv.start + rng.random() * margin
+                # Strict containment: keep endpoints off the boundary.
+                inner_start = min(
+                    max(inner_start, np.nextafter(wind_iv.start, wind_iv.end)),
+                    wind_iv.end - inner_len,
+                )
+                if inner_start > wind_iv.start:
+                    sink.append(
+                        Interval(inner_start, inner_start + inner_len * 0.999)
+                    )
+                    continue
+            # Free-floating episode elsewhere in the window.
+            length = 1.0 + rng.random() * 12.0
+            s = lo + rng.random() * max(hi - lo - length, 1.0)
+            sink.append(Interval(s, min(s + length, hi)))
+
+    return {
+        "wind": Relation.of_intervals("wind", wind),
+        "temperature": Relation.of_intervals("temperature", temperature),
+        "pollution": Relation.of_intervals("pollution", pollution),
+    }

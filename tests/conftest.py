@@ -1,0 +1,74 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro import Interval, IntervalJoinQuery, Relation, reference_join
+
+
+def make_random_relation(
+    name: str,
+    n: int,
+    *,
+    span: float = 200.0,
+    max_length: float = 30.0,
+    rng: Optional[random.Random] = None,
+    integer: bool = False,
+) -> Relation:
+    """A random single-attribute interval relation."""
+    rng = rng or random.Random(0)
+    intervals: List[Interval] = []
+    for _ in range(n):
+        if integer:
+            start = rng.randint(0, int(span))
+            end = start + rng.randint(0, int(max_length))
+            intervals.append(Interval(start, end))
+        else:
+            start = round(rng.uniform(0, span), 3)
+            end = round(start + rng.uniform(0, max_length), 3)
+            intervals.append(Interval(start, end))
+    return Relation.of_intervals(name, intervals)
+
+
+def make_dataset(
+    names: Sequence[str],
+    n: int,
+    seed: int = 0,
+    *,
+    span: float = 200.0,
+    max_length: float = 30.0,
+    integer: bool = False,
+) -> Dict[str, Relation]:
+    """One random relation per name, all from one seeded RNG."""
+    rng = random.Random(seed)
+    return {
+        name: make_random_relation(
+            name, n, span=span, max_length=max_length, rng=rng,
+            integer=integer,
+        )
+        for name in names
+    }
+
+
+def assert_matches_reference(query: IntervalJoinQuery, data, result) -> None:
+    """Assert a JoinResult equals the oracle, with a helpful diff."""
+    reference = reference_join(query, data)
+    got = result.tuple_ids()
+    want = reference.tuple_ids()
+    missing = set(map(tuple, want)) - set(map(tuple, got))
+    extra = set(map(tuple, got)) - set(map(tuple, want))
+    assert not missing and not extra, (
+        f"{result.metrics.algorithm}: missing={sorted(missing)[:5]} "
+        f"extra={sorted(extra)[:5]} (|got|={len(got)}, |want|={len(want)})"
+    )
+    # Exactly-once: no duplicate tuples either.
+    assert len(got) == len(set(map(tuple, got))), "duplicate output tuples"
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)

@@ -1,0 +1,82 @@
+"""Unit tests for the analysis module (histograms + profiles)."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    allen_histogram,
+    concurrency_profile,
+    peak_concurrency,
+)
+from repro.intervals.allen import ALLEN_PREDICATES
+from repro.intervals.interval import Interval
+
+
+def random_intervals(seed, n, span=50, max_len=8):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        start = rng.randint(0, span)
+        out.append(Interval(start, start + rng.randint(0, max_len)))
+    return out
+
+
+class TestAllenHistogram:
+    def test_sums_to_cross_product(self):
+        left = random_intervals(1, 40)
+        right = random_intervals(2, 35)
+        histogram = allen_histogram(left, right)
+        assert sum(histogram.values()) == 40 * 35
+
+    def test_matches_brute_force(self):
+        from repro.intervals.allen import relation_between
+
+        left = random_intervals(3, 30)
+        right = random_intervals(4, 30)
+        histogram = allen_histogram(left, right)
+        brute = {name: 0 for name in ALLEN_PREDICATES}
+        for u in left:
+            for v in right:
+                brute[relation_between(u, v).name] += 1
+        assert histogram == brute
+
+    def test_empty_sides(self):
+        histogram = allen_histogram([], random_intervals(5, 10))
+        assert sum(histogram.values()) == 0
+
+    def test_pure_sequence_data(self):
+        left = [Interval(0, 1), Interval(2, 3)]
+        right = [Interval(10, 11)]
+        histogram = allen_histogram(left, right)
+        assert histogram["before"] == 2
+        assert sum(histogram.values()) == 2
+
+
+class TestConcurrencyProfile:
+    def test_simple_profile(self):
+        profile = concurrency_profile([Interval(0, 2), Interval(1, 3)])
+        # starts at 0 (1 active), 1 (2 active), then drops after 2 and 3.
+        assert profile[0] == (0, 1)
+        assert profile[1] == (1, 2)
+        assert profile[-1][1] == 0
+
+    def test_closed_endpoints_both_active(self):
+        # [0,2] and [2,5] are both active at t=2.
+        assert peak_concurrency([Interval(0, 2), Interval(2, 5)]) == 2
+
+    def test_peak(self):
+        intervals = [Interval(0, 10), Interval(2, 5), Interval(3, 4)]
+        assert peak_concurrency(intervals) == 3
+
+    def test_empty(self):
+        assert concurrency_profile([]) == []
+        assert peak_concurrency([]) == 0
+
+    def test_profile_is_consistent_with_stabbing(self):
+        intervals = random_intervals(6, 50)
+        profile = concurrency_profile(intervals)
+        # At each breakpoint, the count equals a direct stabbing count.
+        for time, count in profile[:20]:
+            stab = sum(1 for iv in intervals if iv.contains_point(time))
+            assert stab == count, time

@@ -1,0 +1,134 @@
+"""Unit tests for join graphs, components, and component ordering."""
+
+import pytest
+
+from repro.errors import UnsatisfiableQueryError
+from repro.core.graph import JoinGraph
+from repro.core.query import IntervalJoinQuery, Term
+
+
+def graph_of(conditions):
+    return JoinGraph(IntervalJoinQuery.parse(conditions))
+
+
+class TestComponents:
+    def test_paper_q3_two_components(self):
+        # Q3 = R1 ov R2, R2 ov R3, R2 before R4, R4 ov R5
+        g = graph_of(
+            [
+                ("R1", "overlaps", "R2"),
+                ("R2", "overlaps", "R3"),
+                ("R2", "before", "R4"),
+                ("R4", "overlaps", "R5"),
+            ]
+        )
+        assert len(g.components) == 2
+        relation_sets = sorted(
+            sorted(c.relations) for c in g.components
+        )
+        assert relation_sets == [["R1", "R2", "R3"], ["R4", "R5"]]
+
+    def test_pure_sequence_all_singletons(self):
+        g = graph_of([("A", "before", "B"), ("B", "before", "C")])
+        assert len(g.components) == 3
+        assert all(len(c.terms) == 1 for c in g.components)
+
+    def test_pure_colocation_single_component(self):
+        g = graph_of([("A", "overlaps", "B"), ("B", "contains", "C")])
+        assert len(g.components) == 1
+        assert len(g.components[0].conditions) == 2
+
+    def test_paper_q5_four_components(self):
+        # Q5 = R1.I bf R2.I, R1.I ov R3.I, R1.A = R3.A, R2.B = R3.B
+        g = graph_of(
+            [
+                ("R1.I", "before", "R2.I"),
+                ("R1.I", "overlaps", "R3.I"),
+                ("R1.A", "=", "R3.A"),
+                ("R2.B", "=", "R3.B"),
+            ]
+        )
+        assert len(g.components) == 4
+
+    def test_component_of(self):
+        g = graph_of([("A", "overlaps", "B"), ("B", "before", "C")])
+        comp_a = g.component_of(Term("A", "I"))
+        comp_b = g.component_of(Term("B", "I"))
+        comp_c = g.component_of(Term("C", "I"))
+        assert comp_a is comp_b
+        assert comp_a is not comp_c
+
+    def test_components_of_relation(self):
+        g = graph_of(
+            [("R1.I", "overlaps", "R2.I"), ("R1.A", "=", "R2.A")]
+        )
+        assert len(g.components_of_relation("R1")) == 2
+
+
+class TestComponentOrders:
+    def test_order_from_before(self):
+        g = graph_of([("A", "overlaps", "B"), ("B", "before", "C")])
+        ab = g.component_of(Term("A", "I")).index
+        c = g.component_of(Term("C", "I")).index
+        assert (ab, c) in g.component_orders
+
+    def test_order_from_after_reversed(self):
+        g = graph_of([("A", "overlaps", "B"), ("B", "after", "C")])
+        ab = g.component_of(Term("A", "I")).index
+        c = g.component_of(Term("C", "I")).index
+        assert (c, ab) in g.component_orders
+
+    def test_equivalent_orders_are_not_contradictory(self):
+        # "A before B" and "B after A" enforce the SAME order.
+        g = graph_of([("A", "before", "B"), ("B", "after", "A")])
+        assert len(g.component_orders) == 1
+
+    def test_real_contradiction(self):
+        with pytest.raises(UnsatisfiableQueryError):
+            graph_of([("A", "before", "B"), ("A", "after", "B")])
+
+    def test_order_cycle_unsatisfiable(self):
+        with pytest.raises(UnsatisfiableQueryError):
+            graph_of(
+                [
+                    ("A", "before", "B"),
+                    ("B", "before", "C"),
+                    ("C", "before", "A"),
+                ]
+            )
+
+    def test_intra_component_sequence_imposes_no_order(self):
+        # A-B-C colocation chain plus A before C: one component, no
+        # component order (the condition becomes a reducer-side filter).
+        g = graph_of(
+            [
+                ("A", "overlaps", "B"),
+                ("B", "overlaps", "C"),
+                ("A", "before", "C"),
+            ]
+        )
+        assert len(g.components) == 1
+        assert not g.component_orders
+
+
+class TestProveEmpty:
+    def test_cycle_detected_via_graph_or_pc(self):
+        # The order cycle raises during construction.
+        with pytest.raises(UnsatisfiableQueryError):
+            graph_of(
+                [
+                    ("A", "before", "B"),
+                    ("B", "before", "C"),
+                    ("C", "before", "A"),
+                ]
+            )
+
+    def test_pc_catches_subtler_contradictions(self):
+        # A contains B but B contains A is contradictory even though no
+        # sequence order exists.
+        g = graph_of([("A", "contains", "B"), ("B", "contains", "A")])
+        assert g.prove_empty()
+
+    def test_satisfiable_not_proven_empty(self):
+        g = graph_of([("A", "overlaps", "B"), ("B", "before", "C")])
+        assert not g.prove_empty()

@@ -1,0 +1,36 @@
+"""Tests for join-graph helper utilities."""
+
+from repro.core.graph import JoinGraph, component_order_matrix
+from repro.core.query import IntervalJoinQuery
+
+
+class TestComponentOrderMatrix:
+    def test_chain_orders_sorted(self):
+        q = IntervalJoinQuery.parse(
+            [("A", "before", "B"), ("B", "before", "C")]
+        )
+        graph = JoinGraph(q)
+        matrix = component_order_matrix(graph)
+        assert matrix == sorted(graph.component_orders)
+        assert len(matrix) == 2
+
+    def test_no_orders_for_pure_colocation(self):
+        q = IntervalJoinQuery.parse(
+            [("A", "overlaps", "B"), ("B", "overlaps", "C")]
+        )
+        assert component_order_matrix(JoinGraph(q)) == []
+
+    def test_mixed_hybrid(self):
+        q = IntervalJoinQuery.parse(
+            [
+                ("A", "overlaps", "B"),
+                ("B", "before", "C"),
+                ("C", "overlaps", "D"),
+            ]
+        )
+        graph = JoinGraph(q)
+        matrix = component_order_matrix(graph)
+        assert len(matrix) == 1
+        early, late = matrix[0]
+        assert graph.components[early].relations == {"A", "B"}
+        assert graph.components[late].relations == {"C", "D"}

@@ -1,0 +1,72 @@
+"""Unit tests for LocalJoiner internals: binding order, anchored starts,
+and access-path selection."""
+
+import pytest
+
+from tests.conftest import make_dataset
+
+from repro.core.local import LocalJoiner, _RelationIndex
+from repro.core.query import IntervalJoinQuery
+from repro.core.reference import reference_join
+from repro.core.schema import Row
+from repro.intervals.interval import Interval
+
+
+def rows_of(intervals):
+    return [Row.make(i, {"I": iv}) for i, iv in enumerate(intervals)]
+
+
+class TestRelationIndex:
+    @pytest.fixture
+    def index(self):
+        return _RelationIndex(
+            rows_of([Interval(0, 5), Interval(3, 9), Interval(10, 12)]), "I"
+        )
+
+    def test_intersecting(self, index):
+        got = sorted(r.rid for r in index.intersecting(Interval(4, 6)))
+        assert got == [0, 1]
+
+    def test_starting_after(self, index):
+        got = sorted(r.rid for r in index.starting_after(3))
+        assert got == [2]
+        assert sorted(r.rid for r in index.starting_after(2.9)) == [1, 2]
+
+    def test_ending_before(self, index):
+        got = sorted(r.rid for r in index.ending_before(9))
+        assert got == [0]
+        assert sorted(r.rid for r in index.ending_before(20)) == [0, 1, 2]
+
+    def test_scan(self, index):
+        assert len(list(index.scan())) == 3
+
+
+class TestBindingOrder:
+    def test_start_with_changes_first_relation(self):
+        q = IntervalJoinQuery.parse(
+            [("A", "overlaps", "B"), ("B", "overlaps", "C")]
+        )
+        default = LocalJoiner(q)._binding_order
+        anchored = LocalJoiner(q, start_with="C")._binding_order
+        assert default[0] == "A"
+        assert anchored[0] == "C"
+        assert anchored == ["C", "B", "A"]
+
+    def test_start_with_unknown_relation(self):
+        q = IntervalJoinQuery.parse([("A", "overlaps", "B")])
+        with pytest.raises(ValueError):
+            LocalJoiner(q, start_with="Z")
+
+    @pytest.mark.parametrize("start", ["A", "B", "C"])
+    def test_any_start_gives_same_output(self, start):
+        q = IntervalJoinQuery.parse(
+            [("A", "overlaps", "B"), ("B", "before", "C")]
+        )
+        data = make_dataset(["A", "B", "C"], 20, seed=42)
+        rows = {name: data[name].rows for name in data}
+        joiner = LocalJoiner(q, start_with=start)
+        got = sorted(
+            tuple(r.rid for r in t) for t in joiner.join(rows)
+        )
+        want = reference_join(q, data).tuple_ids()
+        assert got == want

@@ -1,0 +1,73 @@
+"""Unit tests for the reference (oracle) join on hand-computed cases."""
+
+from repro.core.query import IntervalJoinQuery
+from repro.core.reference import reference_join
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+
+class TestReferenceJoin:
+    def test_two_way_overlap_hand_computed(self):
+        r1 = Relation.of_intervals("R1", [Interval(0, 5), Interval(10, 12)])
+        r2 = Relation.of_intervals("R2", [Interval(3, 8), Interval(11, 20)])
+        q = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+        result = reference_join(q, {"R1": r1, "R2": r2})
+        assert result.tuple_ids() == [(0, 0), (1, 1)]
+
+    def test_three_way_chain(self):
+        r1 = Relation.of_intervals("R1", [Interval(0, 10)])
+        r2 = Relation.of_intervals("R2", [Interval(5, 15), Interval(50, 60)])
+        r3 = Relation.of_intervals("R3", [Interval(12, 20)])
+        q = IntervalJoinQuery.parse(
+            [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+        )
+        result = reference_join(q, {"R1": r1, "R2": r2, "R3": r3})
+        assert result.tuple_ids() == [(0, 0, 0)]
+
+    def test_contains_star(self):
+        wind = Relation.of_intervals("W", [Interval(0, 100)])
+        temp = Relation.of_intervals("T", [Interval(10, 20), Interval(200, 300)])
+        poll = Relation.of_intervals("P", [Interval(30, 40)])
+        q = IntervalJoinQuery.parse(
+            [("W", "contains", "T"), ("W", "contains", "P")]
+        )
+        result = reference_join(q, {"W": wind, "T": temp, "P": poll})
+        assert result.tuple_ids() == [(0, 0, 0)]
+
+    def test_empty_when_no_match(self):
+        r1 = Relation.of_intervals("R1", [Interval(0, 1)])
+        r2 = Relation.of_intervals("R2", [Interval(5, 6)])
+        q = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+        assert len(reference_join(q, {"R1": r1, "R2": r2})) == 0
+
+    def test_empty_relation_gives_empty_join(self):
+        r1 = Relation.of_intervals("R1", [Interval(0, 10)])
+        r2 = Relation("R2", [])
+        q = IntervalJoinQuery.parse([("R1", "before", "R2")])
+        assert len(reference_join(q, {"R1": r1, "R2": r2})) == 0
+
+    def test_tuple_order_follows_query_relations(self):
+        r1 = Relation.of_intervals("R1", [Interval(0, 5)])
+        r2 = Relation.of_intervals("R2", [Interval(3, 8)])
+        q = IntervalJoinQuery.parse(
+            [("R1", "overlaps", "R2")], relations=["R2", "R1"]
+        )
+        result = reference_join(q, {"R1": r1, "R2": r2})
+        (tup,) = result.tuples
+        assert tup[0].interval("I") == Interval(3, 8)  # R2 first
+
+    def test_cyclic_query_graph(self):
+        # Triangle: R1 ov R2, R2 ov R3, R1 ov R3.
+        r1 = Relation.of_intervals("R1", [Interval(0, 10)])
+        r2 = Relation.of_intervals("R2", [Interval(5, 15)])
+        r3 = Relation.of_intervals("R3", [Interval(8, 20), Interval(12, 30)])
+        q = IntervalJoinQuery.parse(
+            [
+                ("R1", "overlaps", "R2"),
+                ("R2", "overlaps", "R3"),
+                ("R1", "overlaps", "R3"),
+            ]
+        )
+        result = reference_join(q, {"R1": r1, "R2": r2, "R3": r3})
+        # Only R3#0 overlaps R1 (12 > 10 for R3#1).
+        assert result.tuple_ids() == [(0, 0, 0)]

@@ -1,0 +1,140 @@
+"""Unit tests for output validation and job history."""
+
+import pytest
+
+from tests.conftest import make_dataset
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.schema import Relation, Row
+from repro.core.validation import (
+    ValidationError,
+    assert_equivalent,
+    validate_result,
+)
+from repro.intervals.interval import Interval
+
+
+Q = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+)
+
+
+def run(data, algorithm="rccis"):
+    return execute(Q, data, algorithm=algorithm, num_partitions=4)
+
+
+class TestValidateResult:
+    def test_valid_result_passes(self):
+        data = make_dataset(["R1", "R2", "R3"], 30, seed=1)
+        result = run(data)
+        validate_result(result, data)
+
+    def test_detects_predicate_violation(self):
+        data = make_dataset(["R1", "R2", "R3"], 10, seed=2)
+        result = run(data)
+        bogus = (
+            data["R1"].rows[0],
+            data["R2"].rows[0],
+            data["R3"].rows[0],
+        )
+        tampered = JoinResult(
+            Q, list(result.tuples) + [bogus], result.metrics
+        )
+        # The bogus tuple almost surely violates a condition; if by luck
+        # it satisfies them, it duplicates an existing tuple instead.
+        with pytest.raises(ValidationError):
+            validate_result(tampered, data)
+            # force failure if the bogus tuple was genuinely valid & new
+            raise ValidationError("unexpectedly valid")
+
+    def test_detects_duplicates(self):
+        data = make_dataset(["R1", "R2", "R3"], 30, seed=3)
+        result = run(data)
+        if not result.tuples:
+            pytest.skip("no output at this seed")
+        tampered = JoinResult(
+            Q, list(result.tuples) + [result.tuples[0]], result.metrics
+        )
+        with pytest.raises(ValidationError, match="more than once"):
+            validate_result(tampered, data)
+
+    def test_detects_wrong_arity(self):
+        data = make_dataset(["R1", "R2", "R3"], 10, seed=4)
+        result = run(data)
+        tampered = JoinResult(
+            Q, [(data["R1"].rows[0],)], result.metrics
+        )
+        with pytest.raises(ValidationError, match="arity"):
+            validate_result(tampered)
+
+    def test_detects_foreign_row(self):
+        data = make_dataset(["R1", "R2", "R3"], 10, seed=5)
+        result = run(data)
+        alien = Row.make(9999, {"I": Interval(0, 1)})
+        tampered = JoinResult(
+            Q,
+            [(alien, data["R2"].rows[0], data["R3"].rows[0])],
+            result.metrics,
+        )
+        with pytest.raises(ValidationError):
+            validate_result(tampered, data)
+
+
+class TestAssertEquivalent:
+    def test_identical_results_pass(self):
+        data = make_dataset(["R1", "R2", "R3"], 25, seed=6)
+        a = run(data, "rccis")
+        b = run(data, "all_replicate")
+        assert_equivalent(a, b)
+        assert_equivalent(a, b, sample=5)
+
+    def test_mismatch_detected(self):
+        data = make_dataset(["R1", "R2", "R3"], 25, seed=7)
+        a = run(data)
+        if not a.tuples:
+            pytest.skip("no output at this seed")
+        b = JoinResult(Q, a.tuples[:-1], ExecutionMetrics(algorithm="b"))
+        with pytest.raises(ValidationError):
+            assert_equivalent(a, b)
+        with pytest.raises(ValidationError):
+            assert_equivalent(a, b, sample=len(a.tuples))
+
+
+class TestJobHistory:
+    def test_record_and_totals(self, tmp_path):
+        from repro.mapreduce.history import JobHistory
+        from repro.mapreduce.fs import InMemoryFileSystem
+        from repro.mapreduce.job import InputSpec, JobConf
+        from repro.mapreduce.runner import run_job
+        from repro.mapreduce.task import IdentityMapper, Reducer
+
+        class CountReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                ctx.counters.increment("work", "comparisons", len(values))
+                ctx.emit((key, len(values)))
+
+        fs = InMemoryFileSystem()
+        fs.write("in", list(range(10)))
+        result = run_job(
+            fs,
+            JobConf(
+                name="count",
+                inputs=[InputSpec("in", IdentityMapper())],
+                reducer=CountReducer(),
+                output="out",
+                num_reduce_tasks=2,
+            ),
+        )
+        history = JobHistory()
+        record = history.record(result)
+        assert record.map_input_records == 10
+        assert record.user_counters["work"]["comparisons"] == 10
+        assert history.totals()["jobs"] == 1
+
+        path = str(tmp_path / "history.json")
+        history.save(path)
+        loaded = JobHistory.load(path)
+        assert len(loaded) == 1
+        assert loaded.records[0] == record

@@ -1,0 +1,73 @@
+"""Smoke checks for the example scripts and documentation hygiene."""
+
+import importlib.util
+import os
+import pathlib
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "environmental_monitoring",
+            "network_packet_trains",
+            "spatial_city_river",
+            "skewed_workload_tuning",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+    )
+    def test_example_imports_and_defines_main(self, path):
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # executes top level, not main()
+        assert callable(getattr(module, "main", None)), path.stem
+
+
+class TestDocumentationHygiene:
+    def _public_modules(self):
+        import pkgutil
+
+        root = pathlib.Path(repro.__file__).parent
+        for info in pkgutil.walk_packages([str(root)], prefix="repro."):
+            if "._" not in info.name:
+                yield info.name
+
+    def test_every_module_has_a_docstring(self):
+        import importlib
+
+        missing = []
+        for name in self._public_modules():
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_classes_documented(self):
+        import importlib
+        import inspect
+
+        missing = []
+        for name in self._public_modules():
+            module = importlib.import_module(name)
+            for attr_name in getattr(module, "__all__", []):
+                attr = getattr(module, attr_name, None)
+                if inspect.isclass(attr) or inspect.isfunction(attr):
+                    if not (attr.__doc__ or "").strip():
+                        missing.append(f"{name}.{attr_name}")
+        assert not missing, f"undocumented public API: {sorted(set(missing))}"
+
+    def test_repo_documents_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / doc).is_file(), doc
+        for doc in ("algorithms.md", "mapreduce.md", "api.md"):
+            assert (REPO_ROOT / "docs" / doc).is_file(), doc

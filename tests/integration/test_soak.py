@@ -1,0 +1,96 @@
+"""Randomized soak: larger random queries (4-5 relations, random tree
+shapes, mixed predicates) across every applicable algorithm vs the
+oracle.  Complements the hypothesis chains (which stay small for
+shrinkability) with deeper shapes at fixed seeds."""
+
+import random
+
+import pytest
+
+from tests.conftest import assert_matches_reference
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery, QueryClass
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+COLOCATION = [
+    "overlaps", "overlapped_by", "contains", "during", "meets", "met_by",
+    "starts", "started_by", "finishes", "finished_by", "equals",
+]
+ALL_PREDICATES = COLOCATION + ["before", "after"]
+
+
+def random_query(rng: random.Random, m: int, predicates):
+    """A random tree-shaped query over m relations."""
+    names = [f"R{i}" for i in range(1, m + 1)]
+    conditions = []
+    for index in range(1, m):
+        parent = names[rng.randrange(index)]
+        conditions.append((parent, rng.choice(predicates), names[index]))
+    return IntervalJoinQuery.parse(conditions)
+
+
+def random_data(rng: random.Random, query, n, span=80, max_len=12):
+    data = {}
+    for name in query.relations:
+        intervals = []
+        for _ in range(n):
+            start = rng.randint(0, span)
+            intervals.append(Interval(start, start + rng.randint(0, max_len)))
+        data[name] = Relation.of_intervals(name, intervals)
+    return data
+
+
+def algorithms_for(query) -> list:
+    klass = query.query_class
+    out = ["all_replicate", "two_way_cascade"]
+    if klass is QueryClass.COLOCATION:
+        out += ["rccis", "all_seq_matrix", "gen_matrix"]
+    elif klass is QueryClass.SEQUENCE:
+        out += ["all_matrix", "gen_matrix"]
+    else:
+        out += ["all_seq_matrix", "pasm", "fcts"]
+    return out
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_four_way_random_tree(seed):
+    rng = random.Random(1000 + seed)
+    # Mostly colocation, with a chance of sequence edges (pure-sequence
+    # 4-ways explode combinatorially, so bias accordingly).
+    predicates = COLOCATION * 3 + ["before", "after"]
+    query = random_query(rng, 4, predicates)
+    n = 10 if query.query_class is QueryClass.SEQUENCE else 16
+    data = random_data(rng, query, n)
+    for algorithm in algorithms_for(query):
+        result = execute(query, data, algorithm=algorithm, num_partitions=3)
+        assert_matches_reference(query, data, result)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_five_way_random_tree(seed):
+    rng = random.Random(2000 + seed)
+    query = random_query(rng, 5, COLOCATION)
+    data = random_data(rng, query, 12)
+    for algorithm in ("rccis", "all_replicate", "two_way_cascade"):
+        result = execute(query, data, algorithm=algorithm, num_partitions=4)
+        assert_matches_reference(query, data, result)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_hybrid_with_multiple_components(seed):
+    rng = random.Random(3000 + seed)
+    # Two colocation components bridged by sequence edges:
+    # (R1 ov R2) before (R3 ov R4) [before R5].
+    conditions = [
+        ("R1", rng.choice(COLOCATION), "R2"),
+        ("R3", rng.choice(COLOCATION), "R4"),
+        ("R2", rng.choice(["before", "after"]), "R3"),
+        ("R4", "before", "R5"),
+    ]
+    query = IntervalJoinQuery.parse(conditions)
+    data = random_data(rng, query, 10)
+    for algorithm in ("all_seq_matrix", "pasm", "fcts", "all_replicate"):
+        result = execute(query, data, algorithm=algorithm, num_partitions=3)
+        assert_matches_reference(query, data, result)

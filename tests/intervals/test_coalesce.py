@@ -1,0 +1,115 @@
+"""Unit tests for temporal-set operations."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.intervals.coalesce import (
+    clip,
+    coalesce,
+    gaps,
+    intersect_sets,
+    subtract,
+    total_coverage,
+)
+from repro.intervals.interval import Interval
+
+
+class TestCoalesce:
+    def test_merges_overlapping(self):
+        assert coalesce([Interval(0, 5), Interval(3, 8)]) == [Interval(0, 8)]
+
+    def test_merges_touching(self):
+        assert coalesce([Interval(0, 2), Interval(2, 5)]) == [Interval(0, 5)]
+
+    def test_keeps_disjoint(self):
+        assert coalesce([Interval(0, 1), Interval(3, 4)]) == [
+            Interval(0, 1),
+            Interval(3, 4),
+        ]
+
+    def test_min_gap_bridges(self):
+        assert coalesce(
+            [Interval(0, 1), Interval(1.4, 2)], min_gap=0.5
+        ) == [Interval(0, 2)]
+        assert coalesce(
+            [Interval(0, 1), Interval(1.6, 2)], min_gap=0.5
+        ) == [Interval(0, 1), Interval(1.6, 2)]
+
+    def test_contained_interval_absorbed(self):
+        assert coalesce([Interval(0, 10), Interval(2, 3)]) == [Interval(0, 10)]
+
+    def test_unsorted_input(self):
+        assert coalesce([Interval(5, 6), Interval(0, 1), Interval(0.5, 5.5)]) == [
+            Interval(0, 6)
+        ]
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            coalesce([Interval(0, 1)], min_gap=-1)
+
+
+class TestGapsAndCoverage:
+    def test_gaps(self):
+        assert gaps([Interval(0, 2), Interval(5, 6), Interval(8, 9)]) == [
+            Interval(2, 5),
+            Interval(6, 8),
+        ]
+
+    def test_gaps_of_contiguous_is_empty(self):
+        assert gaps([Interval(0, 5), Interval(5, 9)]) == []
+
+    def test_total_coverage(self):
+        assert total_coverage([Interval(0, 2), Interval(1, 4), Interval(10, 11)]) == 5
+
+    def test_coverage_of_points_is_zero(self):
+        assert total_coverage([Interval(3, 3), Interval(7, 7)]) == 0
+
+
+class TestClipSubtractIntersect:
+    def test_clip(self):
+        assert clip(
+            [Interval(0, 10), Interval(20, 30)], Interval(5, 25)
+        ) == [Interval(5, 10), Interval(20, 25)]
+
+    def test_clip_drops_disjoint(self):
+        assert clip([Interval(0, 1)], Interval(5, 6)) == []
+
+    def test_subtract_middle_hole(self):
+        assert subtract([Interval(0, 10)], [Interval(3, 5)]) == [
+            Interval(0, 3),
+            Interval(5, 10),
+        ]
+
+    def test_subtract_edge_holes(self):
+        assert subtract([Interval(0, 10)], [Interval(0, 2), Interval(8, 10)]) == [
+            Interval(2, 8)
+        ]
+
+    def test_subtract_everything(self):
+        assert subtract([Interval(2, 4)], [Interval(0, 10)]) == []
+
+    def test_subtract_nothing(self):
+        assert subtract([Interval(0, 3)], [Interval(5, 6)]) == [Interval(0, 3)]
+
+    def test_intersect_sets(self):
+        left = [Interval(0, 10), Interval(20, 30)]
+        right = [Interval(5, 25)]
+        assert intersect_sets(left, right) == [
+            Interval(5, 10),
+            Interval(20, 25),
+        ]
+
+    def test_intersect_disjoint(self):
+        assert intersect_sets([Interval(0, 1)], [Interval(2, 3)]) == []
+
+    def test_coverage_identity(self):
+        # |A| = |A\B| + |A ∩ B| for coalesced sets.
+        a = [Interval(0, 10), Interval(15, 20)]
+        b = [Interval(5, 17)]
+        assert total_coverage(a) == pytest.approx(
+            total_coverage(subtract(a, b))
+            + total_coverage(intersect_sets(a, b))
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for the Allen composition table and path consistency."""
+
+import pytest
+
+from repro.errors import UnsatisfiableQueryError
+from repro.intervals.composition import (
+    FULL_SET,
+    ConstraintNetwork,
+    compose,
+    compose_sets,
+    composition_table,
+    invert_set,
+    path_consistency,
+)
+
+
+class TestCompositionTable:
+    def test_table_is_complete(self):
+        table = composition_table()
+        assert len(table) == 13 * 13
+
+    def test_before_before(self):
+        assert compose("before", "before") == frozenset({"before"})
+
+    def test_before_after_is_full(self):
+        assert compose("before", "after") == FULL_SET
+
+    def test_equals_is_identity(self):
+        for name in FULL_SET:
+            assert compose("equals", name) == frozenset({name})
+            assert compose(name, "equals") == frozenset({name})
+
+    def test_during_during(self):
+        assert compose("during", "during") == frozenset({"during"})
+
+    def test_meets_meets(self):
+        assert compose("meets", "meets") == frozenset({"before"})
+
+    def test_before_during(self):
+        # Classic cell: b ∘ d = {b, o, m, d, s}.
+        assert compose("before", "during") == frozenset(
+            {"before", "overlaps", "meets", "during", "starts"}
+        )
+
+    def test_overlaps_overlaps(self):
+        assert compose("overlaps", "overlaps") == frozenset(
+            {"before", "meets", "overlaps"}
+        )
+
+    def test_inverse_closure(self):
+        # (r1 ∘ r2)^-1 == r2^-1 ∘ r1^-1
+        for r1 in ("overlaps", "during", "meets"):
+            for r2 in ("before", "starts", "contains"):
+                lhs = invert_set(compose(r1, r2))
+                from repro.intervals.allen import ALLEN_PREDICATES
+                rhs = compose(
+                    ALLEN_PREDICATES[r2].inverse_name,
+                    ALLEN_PREDICATES[r1].inverse_name,
+                )
+                assert lhs == rhs, (r1, r2)
+
+    def test_compose_sets_unions(self):
+        result = compose_sets(
+            frozenset({"before", "meets"}), frozenset({"before"})
+        )
+        assert result == frozenset({"before"})
+
+
+class TestConstraintNetwork:
+    def test_constraints_sync_converse(self):
+        net = ConstraintNetwork(["A", "B"])
+        net.constrain("A", "B", ["before"])
+        assert net.constraint("B", "A") == frozenset({"after"})
+
+    def test_self_constraint_is_equals(self):
+        net = ConstraintNetwork(["A"])
+        assert net.constraint("A", "A") == frozenset({"equals"})
+
+    def test_conflicting_constraints_raise(self):
+        net = ConstraintNetwork(["A", "B"])
+        net.constrain("A", "B", ["before"])
+        with pytest.raises(UnsatisfiableQueryError):
+            net.constrain("A", "B", ["after"])
+
+    def test_duplicate_variables_deduped(self):
+        net = ConstraintNetwork(["A", "B", "A"])
+        assert net.variables == ["A", "B"]
+
+
+class TestPathConsistency:
+    def test_transitive_tightening(self):
+        net = ConstraintNetwork(["A", "B", "C"])
+        net.constrain("A", "B", ["before"])
+        net.constrain("B", "C", ["before"])
+        tightened = path_consistency(net)
+        assert tightened.constraint("A", "C") == frozenset({"before"})
+
+    def test_cycle_detected_empty(self):
+        net = ConstraintNetwork(["A", "B", "C"])
+        net.constrain("A", "B", ["before"])
+        net.constrain("B", "C", ["before"])
+        net.constrain("C", "A", ["before"])
+        with pytest.raises(UnsatisfiableQueryError):
+            path_consistency(net)
+
+    def test_containment_chain(self):
+        net = ConstraintNetwork(["A", "B", "C"])
+        net.constrain("A", "B", ["contains"])
+        net.constrain("B", "C", ["contains"])
+        tightened = path_consistency(net)
+        assert tightened.constraint("A", "C") == frozenset({"contains"})
+
+    def test_satisfiable_network_survives(self):
+        net = ConstraintNetwork(["A", "B", "C"])
+        net.constrain("A", "B", ["overlaps"])
+        net.constrain("B", "C", ["overlaps"])
+        tightened = path_consistency(net)
+        assert tightened.constraint("A", "C")  # non-empty
+
+    def test_original_network_not_mutated(self):
+        net = ConstraintNetwork(["A", "B", "C"])
+        net.constrain("A", "B", ["before"])
+        net.constrain("B", "C", ["before"])
+        path_consistency(net)
+        assert net.constraint("A", "C") == FULL_SET

@@ -1,0 +1,114 @@
+"""Unit tests for the Interval value type."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.intervals.interval import Interval, point, span
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(1.0, 3.5)
+        assert iv.start == 1.0
+        assert iv.end == 3.5
+
+    def test_point_interval_allowed(self):
+        iv = Interval(2, 2)
+        assert iv.is_point
+        assert iv.length == 0
+
+    def test_reversed_endpoints_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 4)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(math.nan, 1)
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, math.nan)
+
+    def test_immutable(self):
+        iv = Interval(0, 1)
+        with pytest.raises(AttributeError):
+            iv.start = 5  # type: ignore[misc]
+
+    def test_point_helper(self):
+        assert point(7.5) == Interval(7.5, 7.5)
+
+
+class TestGeometry:
+    def test_length(self):
+        assert Interval(2, 9).length == 7
+
+    def test_contains_point_boundaries_inclusive(self):
+        iv = Interval(1, 4)
+        assert iv.contains_point(1)
+        assert iv.contains_point(4)
+        assert iv.contains_point(2.5)
+        assert not iv.contains_point(0.999)
+        assert not iv.contains_point(4.001)
+
+    def test_intersects_shared_endpoint(self):
+        assert Interval(0, 2).intersects(Interval(2, 5))
+        assert Interval(2, 5).intersects(Interval(0, 2))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+
+    def test_intersects_containment(self):
+        assert Interval(0, 10).intersects(Interval(3, 4))
+        assert Interval(3, 4).intersects(Interval(0, 10))
+
+    def test_intersection_value(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 9)) == Interval(5, 5)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_union_span(self):
+        assert Interval(0, 2).union_span(Interval(5, 7)) == Interval(0, 7)
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(2.5) == Interval(3.5, 6.5)
+
+    def test_scale(self):
+        assert Interval(2, 4).scale(2.0) == Interval(4, 8)
+        assert Interval(2, 4).scale(0.5, origin=2) == Interval(2, 3)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, 1).scale(-1)
+
+
+class TestOrdering:
+    def test_less_than_order_is_start_based(self):
+        assert Interval(1, 100).less_than(Interval(2, 3))
+        assert not Interval(2, 3).less_than(Interval(1, 100))
+
+    def test_less_than_is_reflexive_on_equal_starts(self):
+        a, b = Interval(1, 5), Interval(1, 9)
+        assert a.less_than(b)
+        assert b.less_than(a)
+
+    def test_dataclass_ordering(self):
+        assert Interval(1, 2) < Interval(1, 3) < Interval(2, 2)
+
+    def test_hashable(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(0, 2)}) == 2
+
+
+class TestSpan:
+    def test_span_of_many(self):
+        assert span([Interval(3, 4), Interval(0, 1), Interval(2, 9)]) == Interval(0, 9)
+
+    def test_span_single(self):
+        assert span([Interval(5, 6)]) == Interval(5, 6)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            span([])
+
+    def test_as_tuple_and_iter(self):
+        assert Interval(1, 2).as_tuple() == (1, 2)
+        assert tuple(Interval(1, 2)) == (1, 2)

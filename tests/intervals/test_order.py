@@ -1,0 +1,60 @@
+"""Unit tests for less-than-order utilities."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.intervals.interval import Interval
+from repro.intervals.order import (
+    leftmost,
+    leftmost_all,
+    less_than,
+    rightmost,
+    rightmost_all,
+    sort_by_order,
+)
+
+
+class TestLessThan:
+    def test_basic(self):
+        assert less_than(Interval(1, 100), Interval(2, 3))
+        assert not less_than(Interval(2, 3), Interval(1, 100))
+
+    def test_equal_starts_mutual(self):
+        a, b = Interval(5, 6), Interval(5, 99)
+        assert less_than(a, b) and less_than(b, a)
+
+
+class TestSorting:
+    def test_sort_by_order(self):
+        intervals = [Interval(3, 4), Interval(1, 9), Interval(1, 2)]
+        assert sort_by_order(intervals) == [
+            Interval(1, 2),
+            Interval(1, 9),
+            Interval(3, 4),
+        ]
+
+
+class TestExtremes:
+    def test_leftmost_rightmost(self):
+        intervals = [Interval(3, 4), Interval(1, 9), Interval(7, 8)]
+        assert leftmost(intervals) == Interval(1, 9)
+        assert rightmost(intervals) == Interval(7, 8)
+
+    def test_ties(self):
+        intervals = [Interval(1, 2), Interval(1, 5), Interval(3, 4)]
+        assert sorted(leftmost_all(intervals)) == [
+            Interval(1, 2),
+            Interval(1, 5),
+        ]
+        assert rightmost_all(intervals) == [Interval(3, 4)]
+
+    def test_key_function(self):
+        items = [("a", Interval(5, 6)), ("b", Interval(1, 2))]
+        assert leftmost(items, key=lambda t: t[1])[0] == "b"
+        assert rightmost(items, key=lambda t: t[1])[0] == "a"
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            leftmost([])
+        with pytest.raises(ReproError):
+            rightmost_all([])

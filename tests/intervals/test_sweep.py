@@ -1,0 +1,91 @@
+"""Unit tests for the plane-sweep join primitives."""
+
+import random
+
+import pytest
+
+from repro.intervals.allen import ALLEN_PREDICATES
+from repro.intervals.interval import Interval
+from repro.intervals.sweep import before_pairs, intersecting_pairs, join_pairs
+
+
+def random_side(seed, n, span=60, max_len=10, integer=True):
+    rng = random.Random(seed)
+    out = []
+    for index in range(n):
+        start = rng.randint(0, span) if integer else rng.uniform(0, span)
+        length = rng.randint(0, max_len) if integer else rng.uniform(0, max_len)
+        out.append((Interval(start, start + length), index))
+    return out
+
+
+class TestIntersectingPairs:
+    def test_small_example(self):
+        left = [(Interval(0, 5), "a"), (Interval(10, 12), "b")]
+        right = [(Interval(4, 11), "x")]
+        got = sorted(
+            (l[1], r[1]) for l, r in intersecting_pairs(left, right)
+        )
+        assert got == [("a", "x"), ("b", "x")]
+
+    def test_matches_brute_force(self):
+        left = random_side(1, 120)
+        right = random_side(2, 150)
+        got = sorted((l[1], r[1]) for l, r in intersecting_pairs(left, right))
+        want = sorted(
+            (li, ri)
+            for liv, li in left
+            for riv, ri in right
+            if liv.intersects(riv)
+        )
+        assert got == want
+
+    def test_each_pair_exactly_once(self):
+        left = random_side(3, 80)
+        right = random_side(4, 80)
+        got = [(l[1], r[1]) for l, r in intersecting_pairs(left, right)]
+        assert len(got) == len(set(got))
+
+    def test_empty_sides(self):
+        assert list(intersecting_pairs([], random_side(5, 10))) == []
+        assert list(intersecting_pairs(random_side(5, 10), [])) == []
+
+    def test_shared_endpoint_counts(self):
+        left = [(Interval(0, 5), 0)]
+        right = [(Interval(5, 9), 0)]
+        assert len(list(intersecting_pairs(left, right))) == 1
+
+
+class TestBeforePairs:
+    def test_matches_brute_force(self):
+        left = random_side(6, 100)
+        right = random_side(7, 100)
+        got = sorted((l[1], r[1]) for l, r in before_pairs(left, right))
+        want = sorted(
+            (li, ri)
+            for liv, li in left
+            for riv, ri in right
+            if liv.end < riv.start
+        )
+        assert got == want
+
+    def test_touching_is_not_before(self):
+        left = [(Interval(0, 5), 0)]
+        right = [(Interval(5, 9), 0)]
+        assert list(before_pairs(left, right)) == []
+
+
+class TestJoinPairs:
+    @pytest.mark.parametrize("name", sorted(ALLEN_PREDICATES))
+    def test_every_predicate_matches_brute_force(self, name):
+        predicate = ALLEN_PREDICATES[name]
+        left = random_side(8, 90)
+        right = random_side(9, 90)
+        got = sorted((l[1], r[1]) for l, r in join_pairs(left, right, name))
+        want = sorted(
+            (li, ri)
+            for liv, li in left
+            for riv, ri in right
+            if predicate.holds(liv, riv)
+        )
+        assert got == want

@@ -1,0 +1,72 @@
+"""Unit tests for the analytic cost model."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.cost import CostModel
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.pipeline import PipelineResult
+
+
+def make_job(
+    reads=0, shuffled=0, comparisons=0, outputs=0, loads=(0,)
+) -> JobResult:
+    counters = Counters()
+    counters.increment("framework", "map_input_records", reads)
+    counters.increment("framework", "shuffle_records", shuffled)
+    counters.increment("work", "comparisons", comparisons)
+    return JobResult(
+        name="j",
+        counters=counters,
+        reduce_task_loads=list(loads),
+        logical_reducer_loads={},
+        output="out",
+        output_records=outputs,
+    )
+
+
+class TestCostModel:
+    def test_empty_job_costs_overhead_only(self):
+        model = CostModel(per_cycle_overhead=5.0)
+        assert model.job_time(make_job()) == pytest.approx(5.0)
+
+    def test_shuffle_dominates_reads(self):
+        model = CostModel()
+        read_heavy = make_job(reads=1_000_000)
+        shuffle_heavy = make_job(shuffled=1_000_000)
+        assert model.job_time(shuffle_heavy) > model.job_time(read_heavy)
+
+    def test_straggler_receive_dominates_balanced_network(self):
+        model = CostModel(per_cycle_overhead=0.0, parallelism=4)
+        balanced = make_job(shuffled=100, loads=(25, 25, 25, 25))
+        skewed = make_job(shuffled=100, loads=(97, 1, 1, 1))
+        assert model.job_time(skewed) > model.job_time(balanced)
+
+    def test_comparisons_charged_proportionally_to_straggler(self):
+        model = CostModel(per_cycle_overhead=0.0)
+        even = make_job(comparisons=1_000_000, loads=(50, 50))
+        hot = make_job(comparisons=1_000_000, loads=(99, 1))
+        assert model.job_time(hot) > model.job_time(even)
+
+    def test_output_parallelises_when_balanced(self):
+        model = CostModel(per_cycle_overhead=0.0, parallelism=10)
+        balanced = make_job(outputs=1_000_000, loads=(10,) * 10)
+        single = make_job(outputs=1_000_000, loads=(100,))
+        assert model.job_time(balanced) < model.job_time(single)
+
+    def test_parallelism_speeds_up_map_phase(self):
+        slow = CostModel(per_cycle_overhead=0.0, parallelism=1)
+        fast = CostModel(per_cycle_overhead=0.0, parallelism=16)
+        job = make_job(reads=1_000_000)
+        assert fast.job_time(job) < slow.job_time(job)
+
+    def test_pipeline_time_sums_jobs(self):
+        model = CostModel(per_cycle_overhead=7.0)
+        result = PipelineResult(jobs=[make_job(), make_job()])
+        assert model.pipeline_time(result) == pytest.approx(14.0)
+
+    def test_more_cycles_cost_more(self):
+        model = CostModel()
+        one = PipelineResult(jobs=[make_job(shuffled=100)])
+        two = PipelineResult(jobs=[make_job(shuffled=50), make_job(shuffled=50)])
+        assert model.pipeline_time(two) > model.pipeline_time(one)

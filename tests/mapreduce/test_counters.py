@@ -1,0 +1,42 @@
+"""Unit tests for counters."""
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_increment_and_value(self):
+        c = Counters()
+        c.increment("g", "n")
+        c.increment("g", "n", 4)
+        assert c.value("g", "n") == 5
+
+    def test_missing_is_zero(self):
+        assert Counters().value("g", "n") == 0
+
+    def test_group_snapshot_is_copy(self):
+        c = Counters()
+        c.increment("g", "n", 2)
+        snapshot = c.group("g")
+        snapshot["n"] = 999  # type: ignore[index]
+        assert c.value("g", "n") == 2
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "n", 2)
+        b.increment("g", "n", 3)
+        b.increment("h", "m", 1)
+        a.merge(b)
+        assert a.value("g", "n") == 5
+        assert a.value("h", "m") == 1
+        assert b.value("g", "n") == 3  # source untouched
+
+    def test_iteration_sorted(self):
+        c = Counters()
+        c.increment("b", "y")
+        c.increment("a", "x")
+        assert list(c) == [("a", "x", 1), ("b", "y", 1)]
+
+    def test_as_dict(self):
+        c = Counters()
+        c.increment("g", "n", 7)
+        assert c.as_dict() == {"g": {"n": 7}}

@@ -1,0 +1,85 @@
+"""Unit tests for the simulated file systems."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.mapreduce.fs import InMemoryFileSystem, LocalFileSystem
+
+
+@pytest.fixture(params=["memory", "local"])
+def fs(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryFileSystem()
+    return LocalFileSystem(str(tmp_path / "fsroot"))
+
+
+class TestFileSystemContract:
+    def test_write_read_roundtrip(self, fs):
+        fs.write("dir/file", [1, 2, 3])
+        assert list(fs.read("dir/file")) == [1, 2, 3]
+
+    def test_write_returns_count(self, fs):
+        assert fs.write("f", ["a", "b"]) == 2
+
+    def test_overwrite_protection(self, fs):
+        fs.write("f", [1])
+        with pytest.raises(FileSystemError):
+            fs.write("f", [2])
+        fs.write("f", [2], overwrite=True)
+        assert list(fs.read("f")) == [2]
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            list(fs.read("nope"))
+
+    def test_exists_and_delete(self, fs):
+        fs.write("f", [1])
+        assert fs.exists("f")
+        fs.delete("f")
+        assert not fs.exists("f")
+        fs.delete("f")  # idempotent
+
+    def test_list_prefix(self, fs):
+        fs.write("out/part-00000", [1])
+        fs.write("out/part-00001", [2])
+        fs.write("other", [3])
+        assert fs.list_prefix("out/") == ["out/part-00000", "out/part-00001"]
+
+    def test_read_dir(self, fs):
+        fs.append_partition("out", 0, [1, 2])
+        fs.append_partition("out", 1, [3])
+        assert sorted(fs.read_dir("out")) == [1, 2, 3]
+
+    def test_read_dir_single_file_fallback(self, fs):
+        fs.write("solo", [5, 6])
+        assert sorted(fs.read_dir("solo")) == [5, 6]
+
+    def test_count(self, fs):
+        fs.append_partition("out", 0, list(range(7)))
+        assert fs.count("out") == 7
+
+    def test_empty_file(self, fs):
+        fs.write("empty", [])
+        assert list(fs.read("empty")) == []
+
+
+class TestLocalFileSystem:
+    def test_persists_across_instances(self, tmp_path):
+        root = str(tmp_path / "persist")
+        LocalFileSystem(root).write("a/b", [{"k": 1}])
+        again = LocalFileSystem(root)
+        assert list(again.read("a/b")) == [{"k": 1}]
+
+    def test_path_escape_rejected(self, tmp_path):
+        fs = LocalFileSystem(str(tmp_path / "jail"))
+        with pytest.raises(FileSystemError):
+            fs.write("../escape", [1])
+
+    def test_custom_codec(self, tmp_path):
+        fs = LocalFileSystem(
+            str(tmp_path / "codec"),
+            encode=lambda pair: list(pair),
+            decode=lambda lst: tuple(lst),
+        )
+        fs.write("f", [(1, 2), (3, 4)])
+        assert list(fs.read("f")) == [(1, 2), (3, 4)]

@@ -1,0 +1,106 @@
+"""Unit tests for multi-job pipelines."""
+
+import pytest
+
+from repro.mapreduce.fs import InMemoryFileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.pipeline import Pipeline
+from repro.mapreduce.task import Mapper, Reducer
+
+
+class EmitLengthMapper(Mapper):
+    def map(self, record, context):
+        context.emit(len(record), record)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit((key, len(values)))
+
+
+class PassThroughMapper(Mapper):
+    def map(self, record, context):
+        context.emit(record[0], record[1])
+
+
+class MaxReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit((key, max(values)))
+
+
+@pytest.fixture
+def fs():
+    fs = InMemoryFileSystem()
+    fs.write("in", ["aa", "b", "cc", "ddd", "e"])
+    return fs
+
+
+class TestPipeline:
+    def test_two_stage_chain(self, fs):
+        pipeline = Pipeline(fs)
+        pipeline.run(
+            JobConf(
+                name="stage1",
+                inputs=[InputSpec("in", EmitLengthMapper())],
+                reducer=CountReducer(),
+                output="stage1",
+                num_reduce_tasks=2,
+            )
+        )
+        pipeline.run(
+            JobConf(
+                name="stage2",
+                inputs=[InputSpec("stage1", PassThroughMapper())],
+                reducer=MaxReducer(),
+                output="stage2",
+                num_reduce_tasks=1,
+            )
+        )
+        result = pipeline.result
+        assert result.num_cycles == 2
+        assert result.final_output == "stage2"
+        # lengths: 2 -> 2 strings, 1 -> 2 strings, 3 -> 1 string
+        assert dict(fs.read_dir("stage2")) == {1: 2, 2: 2, 3: 1}
+
+    def test_counters_accumulate_across_jobs(self, fs):
+        pipeline = Pipeline(fs)
+        conf1 = JobConf(
+            name="s1",
+            inputs=[InputSpec("in", EmitLengthMapper())],
+            reducer=CountReducer(),
+            output="s1",
+            num_reduce_tasks=1,
+        )
+        pipeline.run(conf1)
+        conf2 = JobConf(
+            name="s2",
+            inputs=[InputSpec("s1", PassThroughMapper())],
+            reducer=MaxReducer(),
+            output="s2",
+            num_reduce_tasks=1,
+        )
+        pipeline.run(conf2)
+        assert pipeline.result.total_map_output_records == 5 + 3
+        assert (
+            pipeline.result.counters.value("framework", "map_input_records")
+            == 5 + 3
+        )
+
+    def test_run_all(self, fs):
+        pipeline = Pipeline(fs)
+        confs = [
+            JobConf(
+                name="only",
+                inputs=[InputSpec("in", EmitLengthMapper())],
+                reducer=CountReducer(),
+                output="only",
+                num_reduce_tasks=1,
+            )
+        ]
+        result = pipeline.run_all(confs)
+        assert result.num_cycles == 1
+
+    def test_empty_pipeline(self, fs):
+        pipeline = Pipeline(fs)
+        assert pipeline.result.num_cycles == 0
+        assert pipeline.result.final_output is None

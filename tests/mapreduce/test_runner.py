@@ -1,0 +1,169 @@
+"""Unit tests for job execution (the classic word-count, plus lifecycle
+and counter semantics)."""
+
+import pytest
+
+from repro.errors import MapReduceError
+from repro.mapreduce.fs import InMemoryFileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.runner import run_job
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+
+
+class TokenizeMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit((key, sum(values)))
+
+
+class SumCombiner(Reducer):
+    """Combiner variant: emits the partial sum as the new *value* (a
+    combiner's emissions feed the shuffle under the same key)."""
+
+    def reduce(self, key, values, context):
+        context.emit(sum(values))
+
+
+class CountGroupReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit((key, len(values)))
+
+
+class LifecycleMapper(Mapper):
+    def __init__(self):
+        self.events = []
+
+    def setup(self, context):
+        self.events.append("setup")
+
+    def map(self, record, context):
+        self.events.append("map")
+        context.emit(0, record)
+
+    def cleanup(self, context):
+        self.events.append("cleanup")
+
+
+@pytest.fixture
+def fs():
+    fs = InMemoryFileSystem()
+    fs.write("in/doc", ["the quick brown fox", "the lazy dog", "the fox"])
+    return fs
+
+
+def word_count_conf(fs, **overrides):
+    defaults = dict(
+        name="wordcount",
+        inputs=[InputSpec("in/doc", TokenizeMapper())],
+        reducer=SumReducer(),
+        output="out",
+        num_reduce_tasks=3,
+    )
+    defaults.update(overrides)
+    return JobConf(**defaults)
+
+
+class TestWordCount:
+    def test_output(self, fs):
+        run_job(fs, word_count_conf(fs))
+        counts = dict(fs.read_dir("out"))
+        assert counts == {
+            "the": 3,
+            "quick": 1,
+            "brown": 1,
+            "fox": 2,
+            "lazy": 1,
+            "dog": 1,
+        }
+
+    def test_framework_counters(self, fs):
+        result = run_job(fs, word_count_conf(fs))
+        c = result.counters
+        assert c.value("framework", "map_input_records") == 3
+        assert c.value("framework", "map_output_records") == 9
+        assert c.value("framework", "shuffle_records") == 9
+        assert c.value("framework", "reduce_input_groups") == 6
+        assert result.output_records == 6
+
+    def test_logical_reducer_loads(self, fs):
+        result = run_job(fs, word_count_conf(fs))
+        assert result.logical_reducer_loads["the"] == 3
+        assert sum(result.logical_reducer_loads.values()) == 9
+
+    def test_reduce_task_loads_cover_everything(self, fs):
+        result = run_job(fs, word_count_conf(fs))
+        assert sum(result.reduce_task_loads) == 9
+        assert len(result.reduce_task_loads) == 3
+
+    def test_threads_executor_same_output(self, fs):
+        run_job(fs, word_count_conf(fs, output="out-serial"))
+        run_job(
+            fs, word_count_conf(fs, output="out-threads"), executor="threads"
+        )
+        assert sorted(fs.read_dir("out-serial")) == sorted(
+            fs.read_dir("out-threads")
+        )
+
+    def test_unknown_executor(self, fs):
+        with pytest.raises(MapReduceError):
+            run_job(fs, word_count_conf(fs), executor="gpu")
+
+    def test_no_inputs_rejected(self, fs):
+        conf = word_count_conf(fs)
+        conf.inputs = []
+        with pytest.raises(MapReduceError):
+            run_job(fs, conf)
+
+    def test_zero_reduce_tasks_rejected(self, fs):
+        conf = word_count_conf(fs, num_reduce_tasks=0)
+        with pytest.raises(MapReduceError):
+            run_job(fs, conf)
+
+
+class TestCombiner:
+    def test_combiner_reduces_shuffle_volume(self, fs):
+        plain = run_job(fs, word_count_conf(fs, output="out1"))
+        combined = run_job(
+            fs, word_count_conf(fs, output="out2", combiner=SumCombiner())
+        )
+        assert dict(fs.read_dir("out1")) == dict(fs.read_dir("out2"))
+        assert combined.shuffled_records < plain.shuffled_records
+        assert combined.counters.value("framework", "combine_input_records") == 9
+
+
+class TestLifecycle:
+    def test_setup_cleanup_once_per_task(self):
+        fs = InMemoryFileSystem()
+        fs.write("in", ["a", "b"])
+        mapper = LifecycleMapper()
+        conf = JobConf(
+            name="lifecycle",
+            inputs=[InputSpec("in", mapper)],
+            reducer=CountGroupReducer(),
+            output="out",
+            num_reduce_tasks=1,
+        )
+        run_job(fs, conf)
+        assert mapper.events == ["setup", "map", "map", "cleanup"]
+
+    def test_multiple_inputs_each_get_own_mapper_run(self):
+        fs = InMemoryFileSystem()
+        fs.write("in/a", ["x y"])
+        fs.write("in/b", ["y z"])
+        conf = JobConf(
+            name="multi",
+            inputs=[
+                InputSpec("in/a", TokenizeMapper()),
+                InputSpec("in/b", TokenizeMapper()),
+            ],
+            reducer=SumReducer(),
+            output="out",
+            num_reduce_tasks=2,
+        )
+        run_job(fs, conf)
+        assert dict(fs.read_dir("out")) == {"x": 1, "y": 2, "z": 1}

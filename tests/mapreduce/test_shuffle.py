@@ -1,0 +1,70 @@
+"""Unit tests for the sort-shuffle and partitioners."""
+
+import pytest
+
+from repro.mapreduce.shuffle import (
+    HashPartitioner,
+    RoundRobinKeyPartitioner,
+    shuffle,
+)
+
+
+class TestShuffle:
+    def test_groups_by_key(self):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        tasks = shuffle(pairs, 1, HashPartitioner())
+        groups = dict(tasks[0])
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_groups_sorted_within_task(self):
+        pairs = [(k, 0) for k in ("z", "a", "m")]
+        tasks = shuffle(pairs, 1, HashPartitioner())
+        assert [key for key, _ in tasks[0]] == sorted(
+            ["a", "m", "z"], key=repr
+        )
+
+    def test_same_key_same_task(self):
+        pairs = [(i % 5, i) for i in range(100)]
+        tasks = shuffle(pairs, 3, HashPartitioner())
+        seen = {}
+        for index, groups in enumerate(tasks):
+            for key, _ in groups:
+                assert key not in seen
+                seen[key] = index
+        assert len(seen) == 5
+
+    def test_all_values_preserved(self):
+        pairs = [(i % 7, i) for i in range(50)]
+        tasks = shuffle(pairs, 4, HashPartitioner())
+        values = [
+            v for groups in tasks for _, vals in groups for v in vals
+        ]
+        assert sorted(values) == list(range(50))
+
+    def test_tuple_keys(self):
+        pairs = [((0, 1), "x"), ((1, 0), "y"), ((0, 1), "z")]
+        tasks = shuffle(pairs, 2, HashPartitioner())
+        merged = {k: v for groups in tasks for k, v in groups}
+        assert merged[(0, 1)] == ["x", "z"]
+
+    def test_invalid_partitioner_result(self):
+        class Bad(HashPartitioner):
+            def partition(self, key, num_tasks):
+                return num_tasks  # out of range
+
+        with pytest.raises(ValueError):
+            shuffle([("a", 1)], 2, Bad())
+
+
+class TestRoundRobinKeyPartitioner:
+    def test_even_spread(self):
+        pairs = [(i, i) for i in range(12)]
+        partitioner = RoundRobinKeyPartitioner()
+        tasks = shuffle(pairs, 4, partitioner)
+        assert [len(groups) for groups in tasks] == [3, 3, 3, 3]
+
+    def test_deterministic(self):
+        pairs = [(i, i) for i in range(10)]
+        t1 = shuffle(pairs, 3, RoundRobinKeyPartitioner())
+        t2 = shuffle(pairs, 3, RoundRobinKeyPartitioner())
+        assert t1 == t2

@@ -1,0 +1,46 @@
+"""Property-based tests for the Allen composition table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.allen import relation_between
+from repro.intervals.composition import (
+    FULL_SET,
+    compose,
+    composition_table,
+    invert_set,
+)
+from repro.intervals.interval import Interval
+
+
+def proper_intervals():
+    def build(pair):
+        a, b = sorted(pair)
+        return Interval(a, b + 1)  # strictly positive length
+
+    scalars = st.integers(min_value=0, max_value=30)
+    return st.tuples(scalars, scalars).map(build)
+
+
+class TestCompositionSoundness:
+    @given(proper_intervals(), proper_intervals(), proper_intervals())
+    @settings(max_examples=400)
+    def test_composition_covers_reality(self, a, b, c):
+        """For any concrete triple, rel(a,c) must be in the composition of
+        rel(a,b) and rel(b,c)."""
+        r_ab = relation_between(a, b).name
+        r_bc = relation_between(b, c).name
+        r_ac = relation_between(a, c).name
+        assert r_ac in compose(r_ab, r_bc)
+
+    def test_every_cell_non_empty(self):
+        for cell in composition_table().values():
+            assert cell
+
+    def test_inverse_of_full_is_full(self):
+        assert invert_set(FULL_SET) == FULL_SET
+
+    @given(st.sampled_from(sorted(FULL_SET)), st.sampled_from(sorted(FULL_SET)))
+    @settings(max_examples=169)
+    def test_cells_are_subsets_of_full(self, r1, r2):
+        assert compose(r1, r2) <= FULL_SET

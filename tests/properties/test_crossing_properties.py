@@ -1,0 +1,110 @@
+"""Property-based validation of the crossing-set finder.
+
+The finder (tree AC / backtracking over presence patterns with the
+late-escape condition) must agree with a brute-force enumeration of the
+Section-5 definitions on random queries and random interval layouts —
+this is the component RCCIS's correctness hinges on.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms.crossing import (
+    CrossingSetFinder,
+    has_late_escape,
+    order_reachability,
+)
+from repro.intervals.interval import Interval
+from repro.intervals.partitioning import Partitioning
+from repro.intervals.sets import crosses, is_consistent, normalize_conditions
+
+COLOCATION = [
+    "overlaps", "overlapped_by", "contains", "during", "meets", "met_by",
+    "starts", "started_by", "finishes", "finished_by", "equals",
+]
+
+PARTITIONING = Partitioning.uniform(0, 60, 3)
+PARTITION = 1
+
+
+def brute_force(relations, conditions, intervals):
+    reach = order_reachability(list(relations), list(conditions))
+    flagged = {
+        name: [False] * len(intervals.get(name, [])) for name in relations
+    }
+    choices = {
+        name: list(enumerate(intervals.get(name, []))) for name in relations
+    }
+    for r in range(1, len(relations) + 1):
+        for subset in itertools.combinations(relations, r):
+            if not has_late_escape(frozenset(subset), relations, reach):
+                continue
+            for combo in itertools.product(
+                *(choices[name] for name in subset)
+            ):
+                interval_set = {
+                    name: iv for name, (_, iv) in zip(subset, combo)
+                }
+                if is_consistent(interval_set, conditions) and crosses(
+                    interval_set, conditions, PARTITIONING, PARTITION
+                ):
+                    for name, (position, _) in zip(subset, combo):
+                        flagged[name][position] = True
+    return flagged
+
+
+@st.composite
+def query_and_intervals(draw):
+    """A random 3-relation query shape (chain, star, or triangle) plus
+    random intervals intersecting the middle partition."""
+    shape = draw(st.sampled_from(["chain", "star", "triangle"]))
+    p1 = draw(st.sampled_from(COLOCATION))
+    p2 = draw(st.sampled_from(COLOCATION))
+    p3 = draw(st.sampled_from(COLOCATION))
+    if shape == "chain":
+        conditions = [("R1", p1, "R2"), ("R2", p2, "R3")]
+    elif shape == "star":
+        conditions = [("R1", p1, "R2"), ("R1", p2, "R3")]
+    else:
+        conditions = [
+            ("R1", p1, "R2"),
+            ("R2", p2, "R3"),
+            ("R1", p3, "R3"),
+        ]
+
+    part = PARTITIONING.partition_interval(PARTITION)
+    intervals = {}
+    for name in ("R1", "R2", "R3"):
+        raw = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=5, max_value=int(part.end) - 1),
+                    st.integers(min_value=0, max_value=25),
+                ),
+                max_size=5,
+            )
+        )
+        ivs = []
+        for start, length in raw:
+            iv = Interval(start, start + length)
+            if iv.intersects(part):
+                ivs.append(iv)
+        intervals[name] = ivs
+    return conditions, intervals
+
+
+@given(query_and_intervals())
+@settings(max_examples=150, deadline=None)
+def test_finder_agrees_with_brute_force(case):
+    conditions, intervals = case
+    normalized = list(normalize_conditions(conditions))
+    finder = CrossingSetFinder(
+        ["R1", "R2", "R3"], normalized, PARTITIONING, PARTITION
+    )
+    masks = finder.replicable(intervals)
+    expected = brute_force(("R1", "R2", "R3"), normalized, intervals)
+    for name in ("R1", "R2", "R3"):
+        got = [bool(x) for x in masks[name]]
+        assert got == expected[name], (conditions, name, intervals)

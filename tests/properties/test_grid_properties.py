@@ -1,0 +1,107 @@
+"""Property-based tests for the grid engine: random share vectors and
+random order topologies must never change the join output."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.planner import ALGORITHMS
+from repro.core.query import IntervalJoinQuery
+from repro.core.reference import reference_join
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+
+def interval_relation(name, rows):
+    return Relation.of_intervals(
+        name, [Interval(s, s + l) for s, l in rows]
+    )
+
+
+@st.composite
+def hybrid_case(draw):
+    """Q4-shaped hybrid data plus a random share vector."""
+    def rows(max_size=10):
+        return draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=60),
+                    st.integers(min_value=0, max_value=15),
+                ),
+                min_size=1,
+                max_size=max_size,
+            )
+        )
+
+    data = {
+        "R1": interval_relation("R1", rows()),
+        "R2": interval_relation("R2", rows(6)),
+        "R3": interval_relation("R3", rows(6)),
+    }
+    shares = (
+        draw(st.integers(min_value=1, max_value=6)),
+        draw(st.integers(min_value=1, max_value=6)),
+    )
+    return data, shares
+
+
+Q4 = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R1", "overlaps", "R3")]
+)
+
+
+class TestGridShares:
+    @given(hybrid_case())
+    @settings(max_examples=40, deadline=None)
+    def test_any_share_vector_matches_reference(self, case):
+        data, shares = case
+        result = ALGORITHMS["all_seq_matrix"](grid_parts=shares).run(
+            Q4, data, num_partitions=max(shares)
+        )
+        reference = reference_join(Q4, data)
+        assert result.same_output(reference), shares
+
+    @given(hybrid_case())
+    @settings(max_examples=25, deadline=None)
+    def test_gen_matrix_agrees_with_asm_on_shares(self, case):
+        data, shares = case
+        asm = ALGORITHMS["all_seq_matrix"](grid_parts=shares).run(
+            Q4, data, num_partitions=max(shares)
+        )
+        gen = ALGORITHMS["gen_matrix"](grid_parts=shares).run(
+            Q4, data, num_partitions=max(shares)
+        )
+        assert asm.same_output(gen), shares
+
+
+class TestSequenceTopologies:
+    @given(
+        st.permutations(["before", "before", "after"]),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_sequence_star(self, predicates, rows, o):
+        """Star: R1 P R2, R1 P R3, R1 P R4 with random before/after —
+        mixed orders exercise asymmetric consistency constraints."""
+        conditions = [
+            ("R1", predicates[0], "R2"),
+            ("R1", predicates[1], "R3"),
+            ("R1", predicates[2], "R4"),
+        ]
+        query = IntervalJoinQuery.parse(conditions)
+        data = {
+            name: interval_relation(name, rows)
+            for name in ("R1", "R2", "R3", "R4")
+        }
+        result = ALGORITHMS["all_matrix"](grid_parts=o).run(
+            query, data, num_partitions=o
+        )
+        reference = reference_join(query, data)
+        assert result.same_output(reference), (conditions, o)

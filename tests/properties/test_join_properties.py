@@ -1,0 +1,146 @@
+"""Property-based tests: randomized queries and data, every algorithm
+must equal the reference join — the library's master invariant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery, QueryClass
+from repro.core.reference import reference_join
+from repro.core.schema import Relation
+from repro.intervals.interval import Interval
+
+
+COLOCATION_PREDICATES = [
+    "overlaps", "overlapped_by", "contains", "during", "meets", "met_by",
+    "starts", "started_by", "finishes", "finished_by", "equals",
+]
+ALL_PREDICATES = COLOCATION_PREDICATES + ["before", "after"]
+
+
+def interval_relation(name, draw_ints):
+    intervals = [
+        Interval(start, start + length) for start, length in draw_ints
+    ]
+    return Relation.of_intervals(name, intervals)
+
+
+@st.composite
+def chain_query_and_data(draw, predicates, max_relations=4, n_rows=12):
+    """A chain query R1 P R2 P R3 ... with random predicates and random
+    integer-endpoint data (integers make equality predicates reachable)."""
+    m = draw(st.integers(min_value=2, max_value=max_relations))
+    names = [f"R{i}" for i in range(1, m + 1)]
+    conditions = []
+    for left, right in zip(names, names[1:]):
+        predicate = draw(st.sampled_from(predicates))
+        conditions.append((left, predicate, right))
+    data = {}
+    for name in names:
+        rows = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=60),
+                    st.integers(min_value=0, max_value=15),
+                ),
+                min_size=1,
+                max_size=n_rows,
+            )
+        )
+        data[name] = interval_relation(name, rows)
+    return IntervalJoinQuery.parse(conditions), data
+
+
+class TestColocationChainEquivalence:
+    @given(chain_query_and_data(COLOCATION_PREDICATES))
+    @settings(max_examples=40, deadline=None)
+    def test_rccis_matches_reference(self, query_and_data):
+        query, data = query_and_data
+        reference = reference_join(query, data)
+        result = execute(query, data, algorithm="rccis", num_partitions=4)
+        assert result.same_output(reference), query
+
+    @given(chain_query_and_data(COLOCATION_PREDICATES))
+    @settings(max_examples=25, deadline=None)
+    def test_all_replicate_matches_reference(self, query_and_data):
+        query, data = query_and_data
+        reference = reference_join(query, data)
+        result = execute(
+            query, data, algorithm="all_replicate", num_partitions=4
+        )
+        assert result.same_output(reference), query
+
+    @given(chain_query_and_data(COLOCATION_PREDICATES, max_relations=3))
+    @settings(max_examples=25, deadline=None)
+    def test_cascade_matches_reference(self, query_and_data):
+        query, data = query_and_data
+        reference = reference_join(query, data)
+        result = execute(
+            query, data, algorithm="two_way_cascade", num_partitions=4
+        )
+        assert result.same_output(reference), query
+
+
+class TestArbitraryChainEquivalence:
+    @given(chain_query_and_data(ALL_PREDICATES, max_relations=3, n_rows=10))
+    @settings(max_examples=40, deadline=None)
+    def test_planner_choice_matches_reference(self, query_and_data):
+        query, data = query_and_data
+        reference = reference_join(query, data)
+        result = execute(query, data, num_partitions=3)
+        assert result.same_output(reference), (
+            query, result.metrics.algorithm
+        )
+
+    @given(chain_query_and_data(ALL_PREDICATES, max_relations=3, n_rows=8))
+    @settings(max_examples=30, deadline=None)
+    def test_grid_engine_matches_reference(self, query_and_data):
+        query, data = query_and_data
+        reference = reference_join(query, data)
+        result = execute(query, data, algorithm="gen_matrix", num_partitions=3)
+        assert result.same_output(reference), query
+
+    @given(chain_query_and_data(ALL_PREDICATES, max_relations=3, n_rows=8))
+    @settings(max_examples=20, deadline=None)
+    def test_hybrid_algorithms_match_reference(self, query_and_data):
+        query, data = query_and_data
+        if query.query_class is not QueryClass.HYBRID:
+            return
+        reference = reference_join(query, data)
+        for algorithm in ("all_seq_matrix", "pasm"):
+            result = execute(
+                query, data, algorithm=algorithm, num_partitions=3
+            )
+            assert result.same_output(reference), (query, algorithm)
+
+
+class TestTwoWayEquivalence:
+    @given(
+        st.sampled_from(ALL_PREDICATES),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_way_all_predicates(self, predicate, left_rows, right_rows):
+        data = {
+            "A": interval_relation("A", left_rows),
+            "B": interval_relation("B", right_rows),
+        }
+        query = IntervalJoinQuery.parse([("A", predicate, "B")])
+        reference = reference_join(query, data)
+        result = execute(query, data, algorithm="two_way", num_partitions=3)
+        assert result.same_output(reference), predicate

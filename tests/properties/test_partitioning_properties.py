@@ -1,0 +1,100 @@
+"""Property-based tests for partitionings and the Section-3 primitives."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.interval import Interval
+from repro.intervals.partitioning import Partitioning
+
+
+def partitionings():
+    return st.integers(min_value=1, max_value=12).map(
+        lambda parts: Partitioning.uniform(0.0, 120.0, parts)
+    )
+
+
+def intervals_in_range():
+    def build(pair):
+        a, b = sorted(pair)
+        return Interval(a, b)
+
+    scalars = st.floats(
+        min_value=0.0, max_value=119.0, allow_nan=False, allow_infinity=False
+    )
+    return st.tuples(scalars, scalars).map(build)
+
+
+class TestPrimitiveContainment:
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=300)
+    def test_project_is_first_split_target(self, parts, iv):
+        assert parts.project(iv) == list(parts.split(iv))[0]
+
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=300)
+    def test_split_within_replicate(self, parts, iv):
+        assert set(parts.split(iv)) <= set(parts.replicate(iv))
+
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=300)
+    def test_split_targets_exactly_intersecting_partitions(self, parts, iv):
+        split = set(parts.split(iv))
+        for index in range(len(parts)):
+            part = parts.partition_interval(index)
+            # Half-open semantics: the closed hull overstates the last
+            # boundary point, which belongs to the next partition — except
+            # for the final partition, which is closed.
+            closed_hull_hits = iv.intersects(part)
+            if index in split:
+                assert closed_hull_hits
+            elif closed_hull_hits:
+                # Only permissible miss: the interval touches this
+                # partition's closed hull solely at its right boundary
+                # point, which half-open semantics assign to the NEXT
+                # partition.
+                assert iv.start == part.end and index < len(parts) - 1
+
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=300)
+    def test_replicate_is_suffix(self, parts, iv):
+        targets = list(parts.replicate(iv))
+        assert targets == list(range(targets[0], len(parts)))
+
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=300)
+    def test_locate_within_bounds(self, parts, iv):
+        assert 0 <= parts.locate(iv.start) < len(parts)
+        assert 0 <= parts.locate(iv.end) < len(parts)
+
+    @given(partitionings(), intervals_in_range())
+    @settings(max_examples=200)
+    def test_crossing_consistent_with_locate(self, parts, iv):
+        index = parts.project(iv)
+        assert not parts.crosses_left(iv, index)
+        assert parts.crosses_right(iv, index) == (parts.locate(iv.end) > index)
+
+
+class TestEquiDepth:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=150)
+    def test_every_point_locatable(self, points, parts_count):
+        parts = Partitioning.equi_depth(points, parts_count)
+        for p in points:
+            assert 0 <= parts.locate(p) < len(parts)
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30)
+    def test_uniform_data_gives_even_partitions(self, parts_count):
+        points = [float(i) for i in range(1000)]
+        parts = Partitioning.equi_depth(points, parts_count)
+        counts = [0] * len(parts)
+        for p in points:
+            counts[parts.locate(p)] += 1
+        assert max(counts) <= 1.5 * (len(points) / len(parts))

@@ -1,0 +1,62 @@
+"""Unit tests for load-balance metrics and table rendering."""
+
+import pytest
+
+from repro.stats.metrics import LoadBalance, jain_fairness, load_balance
+from repro.stats.reporting import human_count, human_seconds, render_table
+
+
+class TestJainFairness:
+    def test_perfect_balance(self):
+        assert jain_fairness([10, 10, 10, 10]) == pytest.approx(1.0)
+
+    def test_single_hot_spot(self):
+        assert jain_fairness([100, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert jain_fairness([]) == 1.0
+
+    def test_all_zero(self):
+        assert jain_fairness([0, 0]) == 1.0
+
+
+class TestLoadBalance:
+    def test_summary(self):
+        summary = load_balance({0: 10, 1: 20, 2: 30})
+        assert summary.reducers == 3
+        assert summary.total == 60
+        assert summary.max_load == 30
+        assert summary.mean_load == pytest.approx(20.0)
+        assert summary.imbalance == pytest.approx(1.5)
+
+    def test_empty(self):
+        summary = load_balance({})
+        assert summary.reducers == 0
+        assert summary.imbalance == 1.0
+
+
+class TestHumanFormats:
+    def test_human_count(self):
+        assert human_count(987) == "987"
+        assert human_count(45_300) == "45.3K"
+        assert human_count(1_234_567) == "1.2M"
+
+    def test_human_seconds(self):
+        assert human_seconds(83) == "01:23"
+        assert human_seconds(3 * 3600 + 62) == "3:01:02"
+
+
+class TestRenderTable:
+    def test_renders_aligned(self):
+        out = render_table(
+            "Table X",
+            ["name", "value"],
+            [["a", 1], ["bbbb", 22]],
+            note="shape only",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[-1].strip().startswith("note:")
+        # all data lines equally wide
+        assert len(lines[3]) == len(lines[4])

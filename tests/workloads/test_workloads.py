@@ -1,0 +1,159 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.intervals.interval import Interval
+from repro.workloads.distributions import DISTRIBUTIONS, make_sampler
+from repro.workloads.packets import (
+    TRACE_PROFILES,
+    build_packet_trains,
+    generate_trace,
+    Packet,
+    replicate_trains,
+    trains_relation,
+)
+from repro.workloads.spatial import (
+    RectangleConfig,
+    generate_rectangles,
+    rectangles_intersect,
+)
+from repro.workloads.synthetic import SyntheticConfig, generate_intervals
+from repro.workloads.weather import WeatherConfig, generate_weather_episodes
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_samples_within_unit_range(self, name):
+        import numpy as np
+
+        sampler = make_sampler(name)
+        values = sampler(np.random.default_rng(0), 1000)
+        assert (values >= 0).all() and (values < 1).all()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            make_sampler("cauchy")
+
+    def test_callable_passthrough(self):
+        fn = lambda rng, size: rng.random(size)  # noqa: E731
+        assert make_sampler(fn) is fn
+
+
+class TestSynthetic:
+    def test_respects_ranges(self):
+        config = SyntheticConfig(
+            n=500, t_range=(0, 1000), length_range=(1, 50), seed=1
+        )
+        intervals = generate_intervals(config)
+        assert len(intervals) == 500
+        for iv in intervals:
+            assert 0 <= iv.start <= 1000
+            assert iv.end <= 1000
+            assert iv.length <= 50
+
+    def test_deterministic_with_seed(self):
+        config = SyntheticConfig(n=50, seed=7)
+        assert generate_intervals(config) == generate_intervals(config)
+
+    def test_invalid_configs(self):
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(n=-1)
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(n=1, t_range=(5, 5))
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(n=1, length_range=(5, 1))
+
+    def test_zero_intervals(self):
+        assert generate_intervals(SyntheticConfig(n=0, seed=1)) == []
+
+
+class TestPacketTrains:
+    def test_train_construction_hand_computed(self):
+        packets = [
+            Packet(0.0, 1, 2),
+            Packet(0.1, 1, 2),   # same train (gap 0.1 < 0.5)
+            Packet(0.3, 1, 2),   # same train
+            Packet(2.0, 1, 2),   # new train (gap 1.7)
+            Packet(0.2, 3, 4),   # separate flow
+        ]
+        trains = build_packet_trains(packets, gap_threshold=0.5)
+        assert sorted(trains) == [
+            Interval(0.0, 0.3),
+            Interval(0.2, 0.2),
+            Interval(2.0, 2.0),
+        ]
+
+    def test_gap_threshold_boundary_inclusive(self):
+        packets = [Packet(0.0, 1, 2), Packet(0.5, 1, 2)]
+        assert len(build_packet_trains(packets, gap_threshold=0.5)) == 1
+        assert len(build_packet_trains(packets, gap_threshold=0.49)) == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(WorkloadError):
+            build_packet_trains([], gap_threshold=0)
+
+    def test_trace_profiles_have_expected_scale(self):
+        profile = TRACE_PROFILES["P04"]
+        packets = generate_trace(profile, seed=0)
+        assert 0.5 * profile.n_packets <= len(packets) <= 1.5 * profile.n_packets
+        trains = build_packet_trains(packets)
+        assert 0 < len(trains) < len(packets)
+
+    def test_trace_is_time_sorted(self):
+        packets = generate_trace(TRACE_PROFILES["P04"], seed=1)
+        times = [p.time for p in packets]
+        assert times == sorted(times)
+
+    def test_replicate_trains(self):
+        trains = [Interval(0, 1), Interval(5, 9)]
+        scaled = replicate_trains(trains, 7, seed=2)
+        assert len(scaled) == 7
+        # Jitter keeps copies near the originals.
+        assert abs(scaled[2].start - trains[0].start) < 0.01
+
+    def test_replicate_empty(self):
+        assert replicate_trains([], 10) == []
+
+    def test_trains_relation_end_to_end(self):
+        rel = trains_relation("R", TRACE_PROFILES["P04"], target=500, seed=3)
+        assert len(rel) == 500
+
+
+class TestSpatial:
+    def test_rectangles_have_two_interval_attributes(self):
+        rel = generate_rectangles("cities", RectangleConfig(n=20, seed=1))
+        assert set(rel.attributes) == {"x", "y"}
+        assert len(rel) == 20
+
+    def test_intersection_helper(self):
+        rel = generate_rectangles("r", RectangleConfig(n=2, seed=2))
+        a, b = rel.rows
+        expected = a.interval("x").intersects(b.interval("x")) and a.interval(
+            "y"
+        ).intersects(b.interval("y"))
+        assert rectangles_intersect(a, b) is expected
+
+
+class TestWeather:
+    def test_three_relations(self):
+        episodes = generate_weather_episodes(WeatherConfig(seed=1))
+        assert set(episodes) == {"wind", "temperature", "pollution"}
+        assert all(len(rel) > 0 for rel in episodes.values())
+
+    def test_nesting_produces_contains_matches(self):
+        from repro.core.query import IntervalJoinQuery
+        from repro.core.reference import reference_join
+
+        episodes = generate_weather_episodes(
+            WeatherConfig(n_regimes=30, nested_fraction=1.0, seed=2)
+        )
+        q = IntervalJoinQuery.parse(
+            [("wind", "contains", "temperature"), ("wind", "contains", "pollution")]
+        )
+        result = reference_join(q, episodes)
+        assert len(result) > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(WorkloadError):
+            WeatherConfig(nested_fraction=1.5)
