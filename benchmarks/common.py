@@ -19,6 +19,8 @@ Each ``bench_*`` module exposes
 
 from __future__ import annotations
 
+import itertools
+import os
 import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -27,16 +29,35 @@ from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
 from repro.core.results import JoinResult
 from repro.mapreduce.cost import CostModel
+from repro.obs import ChromeTraceSink, TraceRecorder
 from repro.stats import human_count, human_seconds, render_table
 
 __all__ = [
     "scaled_cost_model",
     "run_algorithm",
+    "trace_artifact_dir",
     "human_count",
     "human_seconds",
     "render_table",
     "print_section",
 ]
+
+#: Environment variable naming a directory for per-run trace artifacts.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+_TRACE_SEQ = itertools.count(1)
+
+
+def trace_artifact_dir() -> Optional[str]:
+    """The directory benchmark trace artifacts go to, or ``None``.
+
+    Set ``REPRO_TRACE_DIR=/some/dir`` (or pass ``trace_dir=`` to
+    :func:`run_algorithm`) and every benchmark execution writes a
+    Perfetto-loadable Chrome trace-event JSON there, one file per run.
+    Default off: an unobserved run is bit-identical to the seed.
+    """
+    directory = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return directory or None
 
 
 def scaled_cost_model(scale: float) -> CostModel:
@@ -69,11 +90,25 @@ def run_algorithm(
     num_partitions: int = 16,
     cost_model: Optional[CostModel] = None,
     grid_parts: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> JoinResult:
-    """Execute one algorithm with benchmark-friendly defaults."""
+    """Execute one algorithm with benchmark-friendly defaults.
+
+    When ``trace_dir`` (or ``$REPRO_TRACE_DIR``) names a directory, the
+    run is observed and a Chrome trace-event artifact
+    ``<algorithm>-<seq>.trace.json`` is written there.
+    """
     from repro.core.planner import ALGORITHMS
 
     from repro.core.validation import validate_result
+
+    trace_dir = trace_dir or trace_artifact_dir()
+    observer = None
+    if trace_dir:
+        trace_path = os.path.join(
+            trace_dir, f"{algorithm}-{next(_TRACE_SEQ):03d}.trace.json"
+        )
+        observer = TraceRecorder(ChromeTraceSink(trace_path))
 
     if grid_parts is not None:
         cls = ALGORITHMS[algorithm]
@@ -87,6 +122,7 @@ def run_algorithm(
             algorithm=instance,
             num_partitions=num_partitions,
             cost_model=cost_model or CostModel(),
+            observer=observer,
         )
     else:
         result = execute(
@@ -95,7 +131,10 @@ def run_algorithm(
             algorithm=algorithm,
             num_partitions=num_partitions,
             cost_model=cost_model or CostModel(),
+            observer=observer,
         )
+    if observer is not None:
+        observer.close()
     # Every benchmark run self-checks: tuples satisfy the query, no
     # duplicates (scales where the reference oracle cannot).
     validate_result(result)

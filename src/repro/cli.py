@@ -10,7 +10,10 @@ Commands
     intervals.
 ``run``
     Execute an interval join query over relation files, print the metric
-    summary, optionally write the output tuples.
+    summary, optionally write the output tuples — plus observability
+    artifacts: ``--trace`` (Chrome trace-event or JSONL span log),
+    ``--history`` (JobHistory JSON + totals) and ``--report`` (skew /
+    straggler / empty-task diagnosis).
 ``histogram``
     The exact Allen-relationship histogram between two relations.
 
@@ -113,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the plan and exit without running")
     run.add_argument("-o", "--output", default=None,
                      help="write output tuples as JSON lines")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record the run's span trace to PATH")
+    run.add_argument(
+        "--trace-format", default="chrome", choices=["chrome", "jsonl"],
+        help="trace artifact format: Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing) or JSONL span events",
+    )
+    run.add_argument("--history", default=None, metavar="PATH",
+                     help="save a JobHistory JSON of the executed jobs "
+                     "and print its totals")
+    run.add_argument("--report", action="store_true",
+                     help="print the skew/straggler/empty-task run report")
 
     hist = sub.add_parser(
         "histogram", help="Allen-relationship histogram of two relations"
@@ -187,13 +202,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"class:  {query.query_class.name}")
         print(f"plan:   {chosen.reason}")
         return 0
+    observer = None
+    if args.trace or args.history or args.report:
+        from repro.obs import TraceRecorder, open_sink
+
+        sinks = [open_sink(args.trace, args.trace_format)] if args.trace else []
+        observer = TraceRecorder(*sinks)
     result = execute(
         query,
         data,
         algorithm=args.algorithm,
         num_partitions=args.partitions,
         partition_strategy=args.partition_strategy,
+        observer=observer,
     )
+    if observer is not None:
+        observer.close()
     m = result.metrics
     print(f"query:      {query}")
     print(f"class:      {query.query_class.name}")
@@ -213,6 +237,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 handle.write(json.dumps(record))
                 handle.write("\n")
         print(f"output:     {args.output}")
+    if args.trace:
+        print(f"trace:      {args.trace} ({args.trace_format})")
+    if args.history:
+        from repro.mapreduce.history import JobHistory
+
+        history = JobHistory()
+        for job_result in observer.job_results:
+            history.record(job_result)
+        history.save(args.history)
+        totals = history.totals()
+        print(f"history:    {args.history}")
+        print(
+            "totals:     "
+            + ", ".join(f"{key}={value}" for key, value in totals.items())
+        )
+    if args.report:
+        from repro.obs import RunReport
+
+        print(RunReport.from_recorder(observer).render())
     return 0
 
 

@@ -29,6 +29,7 @@ from repro.intervals.partitioning import Partitioning
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem, InMemoryFileSystem
 from repro.mapreduce.pipeline import Pipeline
+from repro.obs.recorder import TraceRecorder
 
 __all__ = ["JoinAlgorithm", "build_partitioning", "input_path", "write_inputs"]
 
@@ -100,6 +101,7 @@ class JoinAlgorithm(abc.ABC):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         """Execute the query and return tuples plus metrics.
 
@@ -121,6 +123,10 @@ class JoinAlgorithm(abc.ABC):
             ``num_partitions``/``partition_strategy``).
         partition_strategy:
             ``"uniform"`` or ``"equi_depth"``.
+        observer:
+            Optional :class:`~repro.obs.TraceRecorder`; every job, phase
+            and task of the run is recorded as a span.  Purely passive —
+            results and counters are identical with or without it.
         """
 
     # ------------------------------------------------------------------
@@ -133,12 +139,19 @@ class JoinAlgorithm(abc.ABC):
         executor: str,
         partitioning: Optional[Partitioning],
         partition_strategy: str,
+        observer: Optional[TraceRecorder] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> Tuple[FileSystem, Pipeline, Partitioning]:
         """Common preamble: file system, pipeline, partitioning, inputs."""
         if num_partitions < 1:
             raise PlanningError("num_partitions must be >= 1")
         file_system = fs if fs is not None else InMemoryFileSystem()
-        pipeline = Pipeline(file_system, executor=executor)
+        pipeline = Pipeline(
+            file_system,
+            executor=executor,
+            observer=observer,
+            cost_model=cost_model,
+        )
         if partitioning is None:
             partitioning = build_partitioning(
                 query, data, num_partitions, strategy=partition_strategy

@@ -64,6 +64,7 @@ from repro.core.results import ExecutionMetrics, JoinResult
 from repro.core.schema import Relation, Row
 from repro.intervals.composition import path_consistency
 from repro.intervals.partitioning import Partitioning
+from repro.obs.recorder import TraceRecorder
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf
@@ -109,7 +110,7 @@ class GridSpec:
             per_dim = list(partitionings)
             if len(per_dim) != self.dimensions:
                 raise PlanningError(
-                    f"grid needs one partitioning per dimension "
+                    "grid needs one partitioning per dimension "
                     f"({self.dimensions}), got {len(per_dim)}"
                 )
         self.partitionings: Tuple[Partitioning, ...] = tuple(per_dim)
@@ -538,6 +539,7 @@ class GenMatrix(JoinAlgorithm):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         self._check_query(query)
         try:
@@ -553,12 +555,13 @@ class GenMatrix(JoinAlgorithm):
             per_dim_parts = list(grid_parts)
             if len(per_dim_parts) != len(graph.components):
                 raise PlanningError(
-                    f"grid_parts must give one granularity per dimension "
+                    "grid_parts must give one granularity per dimension "
                     f"({len(graph.components)}), got {len(per_dim_parts)}"
                 )
         file_system, pipeline, parts = self._setup(
             query, data, per_dim_parts[0], fs, executor,
             partitioning, partition_strategy,
+            observer=observer, cost_model=cost_model,
         )
         if partitioning is not None or len(set(per_dim_parts)) == 1:
             partitionings: List[Partitioning] = [parts] * len(

@@ -35,6 +35,7 @@ from repro.core.query import IntervalJoinQuery, JoinCondition, QueryClass
 from repro.core.results import ExecutionMetrics, JoinResult
 from repro.core.schema import Relation, Row
 from repro.intervals.partitioning import Partitioning
+from repro.obs.recorder import TraceRecorder
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem, InMemoryFileSystem
 from repro.mapreduce.job import InputSpec, JobConf
@@ -173,6 +174,7 @@ class FCTS(JoinAlgorithm):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError("FCTS handles single-attribute queries")
@@ -215,6 +217,7 @@ class FCTS(JoinAlgorithm):
                     executor=executor,
                     cost_model=cost_model,
                     partition_strategy=partition_strategy,
+                    observer=observer,
                 )
                 sub_metrics.append(sub_result.metrics)
                 seq_filters = [
@@ -248,7 +251,12 @@ class FCTS(JoinAlgorithm):
 
         # ----- phase 2: All-Matrix over the components -----
         grid_o = self.grid_parts or num_partitions
-        pipeline = Pipeline(file_system, executor=executor)
+        pipeline = Pipeline(
+            file_system,
+            executor=executor,
+            observer=observer,
+            cost_model=cost_model,
+        )
         from repro.core.algorithms.base import build_partitioning
 
         parts = partitioning or build_partitioning(
@@ -319,6 +327,7 @@ class FSTC(JoinAlgorithm):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         if query.query_class is not QueryClass.HYBRID:
             raise PlanningError("FSTC handles hybrid queries")
@@ -347,6 +356,7 @@ class FSTC(JoinAlgorithm):
             executor=executor,
             cost_model=cost_model,
             partition_strategy=partition_strategy,
+            observer=observer,
         )
         partial_records = [
             tuple((name, row) for name, row in zip(seq_query.relations, t))
@@ -367,7 +377,12 @@ class FSTC(JoinAlgorithm):
                     input_path(name), data[name].rows, overwrite=True
                 )
 
-        pipeline = Pipeline(file_system, executor=executor)
+        pipeline = Pipeline(
+            file_system,
+            executor=executor,
+            observer=observer,
+            cost_model=cost_model,
+        )
         bound: List[str] = list(seq_query.relations)
         remaining = [n for n in query.relations if n not in bound]
         step = 0

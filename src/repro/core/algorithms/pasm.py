@@ -35,6 +35,7 @@ from repro.core.query import IntervalJoinQuery, Term
 from repro.core.results import ExecutionMetrics, JoinResult
 from repro.core.schema import Relation, Row
 from repro.intervals.partitioning import Partitioning
+from repro.obs.recorder import TraceRecorder
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf
@@ -174,6 +175,7 @@ class PASM(JoinAlgorithm):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -188,6 +190,7 @@ class PASM(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, grid_parts, fs, executor,
             partitioning, partition_strategy,
+            observer=observer, cost_model=cost_model,
         )
         grid = GridSpec(graph, parts)
         multi_components = [

@@ -19,6 +19,7 @@ from repro.core.results import JoinResult
 from repro.core.schema import Relation, Row
 from repro.intervals.allen import MapOperator
 from repro.intervals.partitioning import Partitioning
+from repro.obs.recorder import TraceRecorder
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf
@@ -76,6 +77,7 @@ class TwoWayJoin(JoinAlgorithm):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
+        observer: Optional[TraceRecorder] = None,
     ) -> JoinResult:
         if len(query.conditions) != 1 or len(query.relations) != 2:
             raise PlanningError(
@@ -85,6 +87,7 @@ class TwoWayJoin(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
+            observer=observer, cost_model=cost_model,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -27,6 +27,7 @@ from repro.core.schema import Relation
 from repro.intervals.partitioning import Partitioning
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem
+from repro.obs.recorder import TraceRecorder
 
 __all__ = ["execute"]
 
@@ -43,6 +44,7 @@ def execute(
     partitioning: Optional[Partitioning] = None,
     partition_strategy: str = "uniform",
     prune: bool = False,
+    observer: Optional[TraceRecorder] = None,
 ) -> JoinResult:
     """Plan and run an interval join query.
 
@@ -57,6 +59,11 @@ def execute(
         class (and proves trivially empty queries without running jobs).
     prune:
         For hybrid queries, prefer PASM over All-Seq-Matrix.
+    observer:
+        Optional :class:`~repro.obs.TraceRecorder`.  When given, the run
+        is recorded as a span hierarchy (query -> algorithm -> job ->
+        phase -> task) with counter deltas and cost-model charges;
+        results are identical with or without it.
 
     Other keyword arguments are forwarded to the algorithm; see
     :meth:`~repro.core.algorithms.base.JoinAlgorithm.run`.
@@ -66,6 +73,14 @@ def execute(
         chosen = plan(query, prune=prune)
         if chosen.provably_empty:
             metrics = ExecutionMetrics(algorithm="planner-empty")
+            if observer is not None:
+                with observer.span(
+                    f"query:{query}",
+                    kind="query",
+                    query_class=query.query_class.name,
+                    planner_empty=True,
+                ):
+                    pass
             return JoinResult(query, [], metrics)
         runner = chosen.algorithm
         assert runner is not None
@@ -78,13 +93,33 @@ def execute(
             ) from None
     else:
         runner = algorithm
-    return runner.run(
-        query,
-        data,
-        num_partitions=num_partitions,
-        fs=fs,
-        executor=executor,
-        cost_model=cost_model,
-        partitioning=partitioning,
-        partition_strategy=partition_strategy,
-    )
+
+    def _run() -> JoinResult:
+        return runner.run(
+            query,
+            data,
+            num_partitions=num_partitions,
+            fs=fs,
+            executor=executor,
+            cost_model=cost_model,
+            partitioning=partitioning,
+            partition_strategy=partition_strategy,
+            observer=observer,
+        )
+
+    if observer is None:
+        return _run()
+    with observer.span(
+        f"query:{query}", kind="query", query_class=query.query_class.name
+    ):
+        with observer.span(
+            f"algorithm:{runner.name}", kind="algorithm", algorithm=runner.name
+        ) as algo_span:
+            result = _run()
+            algo_span.annotate(
+                tuples=len(result),
+                cycles=result.metrics.num_cycles,
+                shuffled_records=result.metrics.shuffled_records,
+                modelled_seconds=result.metrics.simulated_seconds,
+            )
+            return result

@@ -159,7 +159,7 @@ class JoinGraph:
                 pair = (cj, ci)
             if (pair[1], pair[0]) in orders:
                 raise UnsatisfiableQueryError(
-                    f"conditions enforce opposite orders between components "
+                    "conditions enforce opposite orders between components "
                     f"{pair[0]} and {pair[1]}; the query output is empty"
                 )
             orders.add(pair)
@@ -179,7 +179,7 @@ class JoinGraph:
             for nxt in successors[node]:
                 if state.get(nxt) == 0:
                     raise UnsatisfiableQueryError(
-                        f"sequence conditions order components in a cycle "
+                        "sequence conditions order components in a cycle "
                         f"through {nxt}; the query output is empty"
                     )
                 if nxt not in state:

@@ -65,7 +65,7 @@ def validate_result(
         if ids in seen:
             raise ValidationError(
                 f"tuple {ids} emitted more than once "
-                f"(exactly-once ownership violated)"
+                "(exactly-once ownership violated)"
             )
         seen.add(ids)
         binding = dict(zip(query.relations, tuple_rows))

@@ -48,6 +48,31 @@ class Counters:
         """A read-only snapshot of one counter group."""
         return dict(self._groups.get(group, {}))
 
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A point-in-time copy of every counter, for later :meth:`delta`.
+
+        The returned mapping is detached from the live counters; the
+        observability layer snapshots around a task and attaches the
+        delta to the task's span.
+        """
+        return {group: dict(names) for group, names in self._groups.items()}
+
+    def delta(
+        self, since: Mapping[str, Mapping[str, int]]
+    ) -> Dict[str, Dict[str, int]]:
+        """Counter gains since a :meth:`snapshot` (non-zero entries only)."""
+        gained: Dict[str, Dict[str, int]] = {}
+        for group, names in self._groups.items():
+            base = since.get(group, {})
+            diff = {
+                name: value - base.get(name, 0)
+                for name, value in names.items()
+                if value != base.get(name, 0)
+            }
+            if diff:
+                gained[group] = diff
+        return gained
+
     def merge(self, other: "Counters") -> None:
         """Fold another counter set into this one."""
         for group, names in other._groups.items():

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.mapreduce.job import JobResult
@@ -32,6 +32,12 @@ class JobRecord:
     output_records: int
     reduce_task_loads: List[int]
     user_counters: Dict[str, Dict[str, int]]
+    #: records emitted per physical reduce task (empty in pre-1.1
+    #: histories, which did not persist it).
+    reduce_task_outputs: List[int] = field(default_factory=list)
+    #: ``work:comparisons`` per physical reduce task (empty in pre-1.1
+    #: histories) — with the loads, enough to re-plot Figure 4.
+    reduce_task_comparisons: List[int] = field(default_factory=list)
 
     @classmethod
     def from_result(cls, result: JobResult) -> "JobRecord":
@@ -52,6 +58,8 @@ class JobRecord:
             output_records=result.output_records,
             reduce_task_loads=list(result.reduce_task_loads),
             user_counters=user,
+            reduce_task_outputs=list(result.reduce_task_outputs),
+            reduce_task_comparisons=list(result.reduce_task_comparisons),
         )
 
     @property

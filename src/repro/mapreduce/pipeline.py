@@ -9,12 +9,16 @@ outputs, accumulating counters and per-job results for the cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.runner import run_job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.cost import CostModel
+    from repro.obs.recorder import TraceRecorder
 
 __all__ = ["Pipeline", "PipelineResult"]
 
@@ -57,14 +61,30 @@ class Pipeline:
     previous join's output path).
     """
 
-    def __init__(self, fs: FileSystem, executor: str = "serial") -> None:
+    def __init__(
+        self,
+        fs: FileSystem,
+        executor: str = "serial",
+        observer: Optional["TraceRecorder"] = None,
+        cost_model: Optional["CostModel"] = None,
+    ) -> None:
         self.fs = fs
         self.executor = executor
+        #: optional TraceRecorder forwarded to every job run.
+        self.observer = observer
+        #: cost model used only to charge recorded spans.
+        self.cost_model = cost_model
         self.result = PipelineResult()
 
     def run(self, conf: JobConf) -> JobResult:
         """Run one job, recording it in the pipeline result."""
-        job_result = run_job(self.fs, conf, executor=self.executor)
+        job_result = run_job(
+            self.fs,
+            conf,
+            executor=self.executor,
+            observer=self.observer,
+            cost_model=self.cost_model,
+        )
         self.result.jobs.append(job_result)
         return job_result
 

@@ -14,41 +14,91 @@ Execution follows Hadoop's lifecycle: per-input map tasks (setup, map each
 record, cleanup), optional per-map-task combiner, sort-shuffle, reduce
 tasks (setup, reduce each key group in key order, cleanup), each reduce
 task writing one ``part-*`` file under the job's output path.
+
+When an :class:`~repro.obs.TraceRecorder` observer is passed, every job,
+phase (map / shuffle / reduce) and task is recorded as a span carrying
+counter deltas and — when a cost model is supplied — its modelled-seconds
+charge.  Reduce-task spans are recorded from the worker threads of the
+``threads`` executor by parenting them explicitly under the reduce-phase
+span, which the recorder handles thread-safely.  Observation is passive:
+with ``observer=None`` the execution path, results and counters are
+identical to an unobserved run.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Hashable, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
-from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.job import InputSpec, JobConf, JobResult
 from repro.mapreduce.shuffle import shuffle
 from repro.mapreduce.task import MapContext, ReduceContext, Reducer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.cost import CostModel
+    from repro.obs.recorder import TraceRecorder
+    from repro.obs.span import Span
 
 __all__ = ["run_job"]
 
 
+def _run_map_task(
+    fs: FileSystem, spec: InputSpec, conf: JobConf, counters: Counters
+) -> List[Tuple[Hashable, Any]]:
+    """Run one map task (one input spec), combiner included."""
+    context = MapContext(counters, spec.path)
+    spec.mapper.setup(context)
+    for record in fs.read_dir(spec.path):
+        counters.increment("framework", "map_input_records")
+        spec.mapper.map(record, context)
+    spec.mapper.cleanup(context)
+    task_pairs = context.drain()
+    counters.increment("framework", "map_output_records", len(task_pairs))
+    if conf.combiner is not None:
+        task_pairs = _run_combiner(conf.combiner, task_pairs, counters)
+    return task_pairs
+
+
 def _run_map_phase(
-    fs: FileSystem, conf: JobConf, counters: Counters
+    fs: FileSystem,
+    conf: JobConf,
+    counters: Counters,
+    observer: Optional["TraceRecorder"] = None,
+    cost_model: Optional["CostModel"] = None,
 ) -> List[Tuple[Hashable, Any]]:
     """Run all map tasks; returns the intermediate pair stream."""
     pairs: List[Tuple[Hashable, Any]] = []
-    for spec in conf.inputs:
-        context = MapContext(counters, spec.path)
-        spec.mapper.setup(context)
-        for record in fs.read_dir(spec.path):
-            counters.increment("framework", "map_input_records")
-            spec.mapper.map(record, context)
-        spec.mapper.cleanup(context)
-        task_pairs = context.drain()
-        counters.increment("framework", "map_output_records", len(task_pairs))
-        if conf.combiner is not None:
-            task_pairs = _run_combiner(conf.combiner, task_pairs, counters)
-        pairs.extend(task_pairs)
+    if observer is None:
+        for spec in conf.inputs:
+            pairs.extend(_run_map_task(fs, spec, conf, counters))
+        return pairs
+    with observer.span("map", kind="phase", job=conf.name):
+        for index, spec in enumerate(conf.inputs):
+            before = counters.snapshot()
+            with observer.span(
+                f"map:{spec.path}",
+                kind="task",
+                job=conf.name,
+                phase="map",
+                task_index=index,
+            ) as span:
+                task_pairs = _run_map_task(fs, spec, conf, counters)
+                pairs.extend(task_pairs)
+                span.counters = counters.delta(before)
+                span.annotate(output_pairs=len(task_pairs))
+                if cost_model is not None:
+                    reads = span.counters.get("framework", {}).get(
+                        "map_input_records", 0
+                    )
+                    span.annotate(
+                        modelled_seconds=reads
+                        * cost_model.read_cost
+                        / cost_model.parallelism
+                    )
     return pairs
 
 
@@ -76,12 +126,12 @@ def _run_combiner(
     return combined
 
 
-def _run_reduce_task(
+def _reduce_task_core(
     conf: JobConf,
     task_index: int,
     groups: List[Tuple[Hashable, List[Any]]],
 ) -> Tuple[List[Any], Counters]:
-    """Run one physical reduce task over its key groups."""
+    """The untraced body of one physical reduce task."""
     counters = Counters()
     context = ReduceContext(counters, task_index)
     conf.reducer.setup(context)
@@ -97,7 +147,51 @@ def _run_reduce_task(
     return output, counters
 
 
-def run_job(fs: FileSystem, conf: JobConf, executor: str = "serial") -> JobResult:
+def _run_reduce_task(
+    conf: JobConf,
+    task_index: int,
+    groups: List[Tuple[Hashable, List[Any]]],
+    observer: Optional["TraceRecorder"] = None,
+    parent: Optional["Span"] = None,
+    cost_model: Optional["CostModel"] = None,
+) -> Tuple[List[Any], Counters]:
+    """Run one physical reduce task over its key groups.
+
+    With an observer the task gets its own span — parented explicitly
+    under the reduce-phase span so recording is correct even when this
+    runs on a ``threads``-executor worker thread.
+    """
+    if observer is None:
+        return _reduce_task_core(conf, task_index, groups)
+    with observer.span(
+        f"reduce[{task_index}]",
+        kind="task",
+        parent=parent,
+        job=conf.name,
+        phase="reduce",
+        task_index=task_index,
+    ) as span:
+        output, counters = _reduce_task_core(conf, task_index, groups)
+        span.counters = counters.snapshot()
+        load = counters.value("framework", "reduce_input_records")
+        span.annotate(input_records=load, output_records=len(output))
+        if cost_model is not None:
+            span.annotate(
+                modelled_seconds=load * cost_model.shuffle_cost
+                + counters.value("work", "comparisons")
+                * cost_model.comparison_cost
+                + len(output) * cost_model.output_cost
+            )
+        return output, counters
+
+
+def run_job(
+    fs: FileSystem,
+    conf: JobConf,
+    executor: str = "serial",
+    observer: Optional["TraceRecorder"] = None,
+    cost_model: Optional["CostModel"] = None,
+) -> JobResult:
     """Execute one MapReduce job and return its measurements.
 
     Parameters
@@ -108,6 +202,14 @@ def run_job(fs: FileSystem, conf: JobConf, executor: str = "serial") -> JobResul
         The job configuration.
     executor:
         ``"serial"`` or ``"threads"``.
+    observer:
+        Optional :class:`~repro.obs.TraceRecorder`; when given, the job,
+        its phases and its tasks are recorded as spans and the
+        :class:`JobResult` is registered via ``observer.record_job``.
+    cost_model:
+        Optional :class:`~repro.mapreduce.cost.CostModel` used only to
+        attach modelled-seconds charges to the recorded spans (never
+        affects execution).
     """
     if conf.num_reduce_tasks < 1:
         raise MapReduceError("a job needs at least one reduce task")
@@ -115,50 +217,110 @@ def run_job(fs: FileSystem, conf: JobConf, executor: str = "serial") -> JobResul
         raise MapReduceError(f"job {conf.name!r} has no inputs")
     counters = Counters()
 
-    pairs = _run_map_phase(fs, conf, counters)
-    counters.increment("framework", "shuffle_records", len(pairs))
-
-    logical_loads: Dict[Hashable, int] = defaultdict(int)
-    for key, _ in pairs:
-        logical_loads[key] += 1
-
-    tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
-    reduce_task_loads = [
-        sum(len(values) for _, values in groups) for groups in tasks
-    ]
-
-    if executor == "serial":
-        results = [
-            _run_reduce_task(conf, index, groups)
-            for index, groups in enumerate(tasks)
-        ]
-    elif executor == "threads":
-        with ThreadPoolExecutor() as pool:
-            futures = [
-                pool.submit(_run_reduce_task, conf, index, groups)
-                for index, groups in enumerate(tasks)
-            ]
-            results = [future.result() for future in futures]
-    else:
-        raise MapReduceError(f"unknown executor {executor!r}")
-
-    total_output = 0
-    task_outputs: List[int] = []
-    task_comparisons: List[int] = []
-    for index, (records, task_counters) in enumerate(results):
-        counters.merge(task_counters)
-        fs.append_partition(conf.output, index, records)
-        total_output += len(records)
-        task_outputs.append(len(records))
-        task_comparisons.append(task_counters.value("work", "comparisons"))
-
-    return JobResult(
-        name=conf.name,
-        counters=counters,
-        reduce_task_loads=reduce_task_loads,
-        logical_reducer_loads=dict(logical_loads),
-        output=conf.output,
-        output_records=total_output,
-        reduce_task_outputs=task_outputs,
-        reduce_task_comparisons=task_comparisons,
+    job_span = (
+        observer.start_span(
+            f"job:{conf.name}",
+            kind="job",
+            job=conf.name,
+            executor=executor,
+            num_reduce_tasks=conf.num_reduce_tasks,
+        )
+        if observer is not None
+        else None
     )
+    try:
+        pairs = _run_map_phase(fs, conf, counters, observer, cost_model)
+        counters.increment("framework", "shuffle_records", len(pairs))
+
+        logical_loads: Dict[Hashable, int] = defaultdict(int)
+        for key, _ in pairs:
+            logical_loads[key] += 1
+
+        if observer is not None:
+            with observer.span(
+                "shuffle", kind="phase", job=conf.name
+            ) as shuffle_span:
+                tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
+                shuffle_span.annotate(
+                    records=len(pairs), reduce_tasks=conf.num_reduce_tasks
+                )
+                if cost_model is not None:
+                    shuffle_span.annotate(
+                        modelled_seconds=len(pairs)
+                        * cost_model.shuffle_cost
+                        / cost_model.parallelism
+                    )
+        else:
+            tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
+        reduce_task_loads = [
+            sum(len(values) for _, values in groups) for groups in tasks
+        ]
+
+        reduce_span = (
+            observer.start_span("reduce", kind="phase", job=conf.name)
+            if observer is not None
+            else None
+        )
+        try:
+            if executor == "serial":
+                results = [
+                    _run_reduce_task(
+                        conf, index, groups, observer, reduce_span, cost_model
+                    )
+                    for index, groups in enumerate(tasks)
+                ]
+            elif executor == "threads":
+                with ThreadPoolExecutor() as pool:
+                    futures = [
+                        pool.submit(
+                            _run_reduce_task,
+                            conf,
+                            index,
+                            groups,
+                            observer,
+                            reduce_span,
+                            cost_model,
+                        )
+                        for index, groups in enumerate(tasks)
+                    ]
+                    results = [future.result() for future in futures]
+            else:
+                raise MapReduceError(f"unknown executor {executor!r}")
+        finally:
+            if observer is not None and reduce_span is not None:
+                observer.end_span(reduce_span)
+
+        total_output = 0
+        task_outputs: List[int] = []
+        task_comparisons: List[int] = []
+        for index, (records, task_counters) in enumerate(results):
+            counters.merge(task_counters)
+            fs.append_partition(conf.output, index, records)
+            total_output += len(records)
+            task_outputs.append(len(records))
+            task_comparisons.append(task_counters.value("work", "comparisons"))
+
+        result = JobResult(
+            name=conf.name,
+            counters=counters,
+            reduce_task_loads=reduce_task_loads,
+            logical_reducer_loads=dict(logical_loads),
+            output=conf.output,
+            output_records=total_output,
+            reduce_task_outputs=task_outputs,
+            reduce_task_comparisons=task_comparisons,
+        )
+        if observer is not None and job_span is not None:
+            job_span.counters = counters.snapshot()
+            job_span.annotate(
+                output_records=total_output,
+                shuffled_records=len(pairs),
+                reduce_task_loads=list(reduce_task_loads),
+            )
+            if cost_model is not None:
+                job_span.annotate(modelled_seconds=cost_model.job_time(result))
+            observer.record_job(result)
+        return result
+    finally:
+        if observer is not None and job_span is not None:
+            observer.end_span(job_span)

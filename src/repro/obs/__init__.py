@@ -1,0 +1,44 @@
+"""Span-based tracing and run observability.
+
+The paper's evaluation is an argument about *where work goes* —
+intermediate pair counts, replication, per-reducer load.  This package
+makes a run inspectable at that granularity: attach a
+:class:`TraceRecorder` (``execute(..., observer=recorder)`` or
+``repro run --trace out.json``) and every query, algorithm, MapReduce
+job, phase and map/reduce task is recorded as a hierarchical span with
+wall-clock duration, counter deltas, and cost-model charges.
+
+* spans & recorder — :class:`Span`, :class:`TraceRecorder`
+* sinks — :class:`InMemorySink` (tests), :class:`JsonlSink` (event
+  log), :class:`ChromeTraceSink` (load the file in Perfetto or
+  ``chrome://tracing``)
+* analysis — :class:`RunReport` flags skewed reducers, stragglers and
+  empty-output tasks using the Section-7 load statistics
+
+Observation is strictly passive: with no observer attached nothing is
+recorded and results, counters and benchmark numbers are unchanged.
+"""
+
+from repro.obs.recorder import TraceRecorder
+from repro.obs.report import JobLoadSummary, RunReport, TaskFlag
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    TraceSink,
+    open_sink,
+)
+from repro.obs.span import Span
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "TraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "open_sink",
+    "RunReport",
+    "JobLoadSummary",
+    "TaskFlag",
+]

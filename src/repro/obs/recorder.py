@@ -1,0 +1,166 @@
+"""The :class:`TraceRecorder` — the observer threaded through a run.
+
+A recorder hands out hierarchical :class:`~repro.obs.span.Span` context
+managers.  Nesting is tracked per thread (a thread-local span stack), so
+serial code gets parenting for free; code running on worker threads —
+the ``threads`` reduce executor — passes ``parent=`` explicitly and the
+recorder links the span under it thread-safely.
+
+The recorder always keeps the finished spans (flat list + tree), which
+is what :class:`~repro.obs.report.RunReport` and tests consume; attached
+:class:`~repro.obs.sinks.TraceSink` instances additionally receive every
+span as it closes (JSONL event log, Chrome trace export, …).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
+
+from repro.obs.span import Span
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Records a tree of spans plus the job results of one run.
+
+    Parameters
+    ----------
+    sinks:
+        Zero or more :class:`~repro.obs.sinks.TraceSink` objects; each
+        finished span is pushed to every sink (under the recorder lock,
+        so sinks need no locking of their own).
+
+    The recorder itself is the in-memory record: ``roots`` is the span
+    tree, ``spans`` the flat close-order list, and ``job_results`` the
+    :class:`~repro.mapreduce.job.JobResult` of every job executed while
+    the recorder was attached (what ``JobHistory`` and ``RunReport``
+    consume).
+    """
+
+    def __init__(self, *sinks: Any) -> None:
+        self._sinks: List[Any] = list(sinks)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+        #: finished spans in close order.
+        self.spans: List[Span] = []
+        #: top-level spans (no parent), in start order.
+        self.roots: List[Span] = []
+        #: JobResult of every job run under this recorder.
+        self.job_results: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Iterator[Span]:
+        """Open a span for the ``with`` block's duration.
+
+        ``parent`` defaults to the current thread's innermost open span;
+        pass it explicitly when recording from a different thread than
+        the one that opened the parent (the ``threads`` executor does).
+        """
+        span = self.start_span(name, kind=kind, parent=parent, **attributes)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; prefer the :meth:`span` context manager."""
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        with self._lock:
+            self._next_id += 1
+            span = Span(
+                name=name,
+                kind=kind,
+                span_id=self._next_id,
+                parent_id=parent.span_id if parent is not None else None,
+                start=self._now(),
+                thread_id=threading.get_ident(),
+                attributes=dict(attributes),
+            )
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close a span opened with :meth:`start_span`."""
+        span.end = self._now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+            for sink in self._sinks:
+                sink.emit(span)
+
+    # ------------------------------------------------------------------
+    def record_job(self, result: Any) -> None:
+        """Register one executed job's :class:`JobResult`."""
+        with self._lock:
+            self.job_results.append(result)
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach another sink (receives spans closed from now on)."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    def close(self) -> None:
+        """Flush and close every attached sink."""
+        with self._lock:
+            for sink in self._sinks:
+                sink.close()
+
+    # ------------------------------------------------------------------
+    def find(
+        self, kind: Optional[str] = None, name: Optional[str] = None
+    ) -> List[Span]:
+        """Finished spans filtered by kind and/or exact name."""
+        return [
+            span
+            for span in self.spans
+            if (kind is None or span.kind == kind)
+            and (name is None or span.name == name)
+        ]
+
+    def render(self) -> str:
+        """The recorded span tree as indented text."""
+        return "\n".join(root.render() for root in self.roots)
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,246 @@
+"""Post-run analysis of a trace: skew, stragglers, empty tasks.
+
+The paper's Figure 4 is an argument about the *shape* of per-reducer
+load; :class:`RunReport` turns a recorded run into exactly that
+diagnosis.  For every executed job it summarises the physical
+reduce-task load distribution with the Section-7 statistics
+(:func:`repro.stats.metrics.load_balance`, Jain's index) and flags
+
+* **skewed reducers** — tasks whose load exceeds ``imbalance_threshold``
+  times the mean, in jobs whose max/mean imbalance or Jain fairness
+  crosses the thresholds (the All-Replicate hot-tail of Figure 4);
+* **stragglers** — reduce tasks whose recorded wall-clock duration
+  exceeds ``straggler_factor`` times the job's median task duration;
+* **empty-output tasks** — tasks that received input but emitted
+  nothing (wasted shuffle volume; grid cells that never join).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.obs.span import Span
+from repro.stats.metrics import LoadBalance, load_balance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.job import JobResult
+    from repro.obs.recorder import TraceRecorder
+
+__all__ = ["TaskFlag", "JobLoadSummary", "RunReport"]
+
+
+@dataclass(frozen=True)
+class TaskFlag:
+    """One flagged reduce task.
+
+    ``reason`` is ``"skew"``, ``"straggler"`` or ``"empty-output"``;
+    ``detail`` is a human-readable explanation.
+    """
+
+    job: str
+    task_index: int
+    reason: str
+    detail: str
+    load: int = 0
+    duration: float = 0.0
+
+
+@dataclass
+class JobLoadSummary:
+    """Per-job load-balance diagnosis."""
+
+    name: str
+    balance: LoadBalance
+    skewed: bool
+    hot_tasks: List[int] = field(default_factory=list)
+
+
+class RunReport:
+    """Skew/straggler/empty-task diagnosis of one traced run.
+
+    Build with :meth:`from_recorder` after executing with an observer
+    attached; ``flags`` holds every finding, ``jobs`` the per-job load
+    summaries, and :meth:`render` a printable report.
+    """
+
+    def __init__(
+        self, jobs: List[JobLoadSummary], flags: List[TaskFlag]
+    ) -> None:
+        self.jobs = jobs
+        self.flags = flags
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: "TraceRecorder",
+        *,
+        imbalance_threshold: float = 2.0,
+        fairness_threshold: float = 0.5,
+        straggler_factor: float = 3.0,
+        min_straggler_seconds: float = 0.0,
+    ) -> "RunReport":
+        """Analyse everything a :class:`TraceRecorder` observed."""
+        return cls.from_observations(
+            recorder.job_results,
+            recorder.spans,
+            imbalance_threshold=imbalance_threshold,
+            fairness_threshold=fairness_threshold,
+            straggler_factor=straggler_factor,
+            min_straggler_seconds=min_straggler_seconds,
+        )
+
+    @classmethod
+    def from_observations(
+        cls,
+        job_results: Sequence["JobResult"],
+        spans: Sequence[Span] = (),
+        *,
+        imbalance_threshold: float = 2.0,
+        fairness_threshold: float = 0.5,
+        straggler_factor: float = 3.0,
+        min_straggler_seconds: float = 0.0,
+    ) -> "RunReport":
+        """Analyse job results plus (optionally) their recorded spans."""
+        jobs: List[JobLoadSummary] = []
+        flags: List[TaskFlag] = []
+        for result in job_results:
+            loads = list(result.reduce_task_loads)
+            balance = load_balance(dict(enumerate(loads)))
+            skewed = len(loads) > 1 and (
+                balance.imbalance > imbalance_threshold
+                or balance.fairness < fairness_threshold
+            )
+            summary = JobLoadSummary(
+                name=result.name, balance=balance, skewed=skewed
+            )
+            if skewed and balance.mean_load > 0:
+                for index, load in enumerate(loads):
+                    if load > imbalance_threshold * balance.mean_load:
+                        summary.hot_tasks.append(index)
+                        flags.append(
+                            TaskFlag(
+                                job=result.name,
+                                task_index=index,
+                                reason="skew",
+                                detail=(
+                                    f"load {load} is "
+                                    f"{load / balance.mean_load:.1f}x the "
+                                    f"mean ({balance.mean_load:.1f}); "
+                                    f"Jain={balance.fairness:.3f}"
+                                ),
+                                load=load,
+                            )
+                        )
+            outputs = list(result.reduce_task_outputs)
+            for index, load in enumerate(loads):
+                if load > 0 and index < len(outputs) and outputs[index] == 0:
+                    flags.append(
+                        TaskFlag(
+                            job=result.name,
+                            task_index=index,
+                            reason="empty-output",
+                            detail=(
+                                f"received {load} records, emitted none"
+                            ),
+                            load=load,
+                        )
+                    )
+            jobs.append(summary)
+
+        flags.extend(
+            cls._straggler_flags(
+                spans, straggler_factor, min_straggler_seconds
+            )
+        )
+        return cls(jobs, flags)
+
+    @staticmethod
+    def _straggler_flags(
+        spans: Sequence[Span],
+        straggler_factor: float,
+        min_straggler_seconds: float,
+    ) -> List[TaskFlag]:
+        by_job: Dict[str, List[Span]] = {}
+        for span in spans:
+            if (
+                span.kind == "task"
+                and span.attributes.get("phase") == "reduce"
+            ):
+                by_job.setdefault(
+                    str(span.attributes.get("job", "?")), []
+                ).append(span)
+        flags: List[TaskFlag] = []
+        for job, task_spans in by_job.items():
+            if len(task_spans) < 2:
+                continue
+            median = statistics.median(s.duration for s in task_spans)
+            if median <= 0:
+                continue
+            for span in task_spans:
+                if (
+                    span.duration > straggler_factor * median
+                    and span.duration >= min_straggler_seconds
+                ):
+                    flags.append(
+                        TaskFlag(
+                            job=job,
+                            task_index=int(
+                                span.attributes.get("task_index", -1)
+                            ),
+                            reason="straggler",
+                            detail=(
+                                f"ran {span.duration * 1e3:.2f} ms, "
+                                f"{span.duration / median:.1f}x the median "
+                                f"task ({median * 1e3:.2f} ms)"
+                            ),
+                            duration=span.duration,
+                        )
+                    )
+        return flags
+
+    # ------------------------------------------------------------------
+    @property
+    def skewed_jobs(self) -> List[JobLoadSummary]:
+        """Job summaries whose load distribution crossed a threshold."""
+        return [job for job in self.jobs if job.skewed]
+
+    def flags_for(
+        self, reason: Optional[str] = None, job: Optional[str] = None
+    ) -> List[TaskFlag]:
+        """Flags filtered by reason and/or job name."""
+        return [
+            flag
+            for flag in self.flags
+            if (reason is None or flag.reason == reason)
+            and (job is None or flag.job == job)
+        ]
+
+    def render(self) -> str:
+        """A printable multi-line report."""
+        lines: List[str] = ["run report"]
+        for job in self.jobs:
+            b = job.balance
+            marker = "  !! skewed" if job.skewed else ""
+            lines.append(
+                f"  job {job.name}: {b.reducers} reduce tasks, "
+                f"max={b.max_load}, mean={b.mean_load:.1f}, "
+                f"imbalance={b.imbalance:.2f}, Jain={b.fairness:.3f}"
+                f"{marker}"
+            )
+        if not self.flags:
+            lines.append("  no flagged tasks")
+        for flag in self.flags:
+            lines.append(
+                f"  [{flag.reason}] {flag.job} task {flag.task_index}: "
+                f"{flag.detail}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunReport({len(self.jobs)} jobs, {len(self.flags)} flags, "
+            f"{len(self.skewed_jobs)} skewed)"
+        )

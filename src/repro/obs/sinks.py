@@ -1,0 +1,153 @@
+"""Event sinks: where finished spans go.
+
+The sink protocol is two methods — ``emit(span)``, called once per span
+as it closes (serialised by the recorder's lock), and ``close()``,
+called when the recorder shuts down.  Three built-ins cover the common
+cases:
+
+* :class:`InMemorySink` — keeps the spans (and the roots of their tree)
+  in memory; what tests assert against.
+* :class:`JsonlSink` — appends one JSON object per span to a file, in
+  close order; cheap to grep and to stream.
+* :class:`ChromeTraceSink` — writes the Chrome trace-event JSON format
+  (``{"traceEvents": [...]}`` with complete ``"ph": "X"`` events), which
+  loads directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` for a flame-graph view of a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, TextIO, Union
+
+from repro.obs.span import Span, jsonable
+
+__all__ = [
+    "TraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "open_sink",
+]
+
+
+class TraceSink:
+    """Base class / protocol for span sinks."""
+
+    def emit(self, span: Span) -> None:
+        """Receive one finished span (called under the recorder lock)."""
+
+    def close(self) -> None:
+        """Flush and release resources; called once at recorder close."""
+
+
+def _ensure_parent_dir(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+
+
+class InMemorySink(TraceSink):
+    """Collects finished spans in memory — the testing sink."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    @property
+    def roots(self) -> List[Span]:
+        """Spans with no parent — the recorded trees."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per finished span to a JSONL file."""
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, str):
+            _ensure_parent_dir(target)
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def emit(self, span: Span) -> None:
+        self._handle.write(json.dumps(span.to_dict(), default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+class ChromeTraceSink(TraceSink):
+    """Exports spans as Chrome trace-event JSON (Perfetto-loadable).
+
+    Every span becomes one *complete* event (``"ph": "X"``) with
+    microsecond timestamps relative to the recorder epoch; the span's
+    kind becomes the event category and its attributes and counter
+    deltas land in ``args``.
+    """
+
+    def __init__(self, path: str, process_name: str = "repro") -> None:
+        self.path = path
+        self.process_name = process_name
+        self._events: List[Dict[str, Any]] = []
+        self._closed = False
+
+    def emit(self, span: Span) -> None:
+        args: Dict[str, Any] = dict(jsonable(span.attributes))
+        if span.counters:
+            args["counters"] = span.counters
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        self._events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _ensure_parent_dir(self.path)
+        payload = {
+            "traceEvents": self._events
+            + [
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"name": self.process_name},
+                }
+            ],
+            "displayTimeUnit": "ms",
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+
+def open_sink(path: str, fmt: str) -> TraceSink:
+    """Build the sink for a CLI/benchmark trace artifact.
+
+    ``fmt`` is ``"chrome"`` (trace-event JSON) or ``"jsonl"``.
+    """
+    if fmt == "chrome":
+        return ChromeTraceSink(path)
+    if fmt == "jsonl":
+        return JsonlSink(path)
+    raise ValueError(f"unknown trace format {fmt!r}; use 'chrome' or 'jsonl'")

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.analysis import (
     allen_histogram,

@@ -1,6 +1,5 @@
 """Unit tests for the cascade's planning internals."""
 
-import pytest
 
 from repro.core.algorithms.cascade import (
     _binding_order,

@@ -6,7 +6,6 @@ from tests.conftest import assert_matches_reference, make_dataset
 
 from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
-from repro.core.reference import reference_join
 from repro.core.schema import Relation, Row
 from repro.intervals.interval import Interval
 from repro.intervals.partitioning import Partitioning

@@ -1,6 +1,5 @@
 """Unit tests for the reducer-local join evaluator."""
 
-import random
 
 import pytest
 

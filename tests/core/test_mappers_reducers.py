@@ -1,7 +1,6 @@
 """Granular unit tests for the algorithms' mapper and reducer classes,
 exercised directly (outside a job) against hand-built partitionings."""
 
-from typing import List
 
 import pytest
 

@@ -8,7 +8,7 @@ from repro.errors import PlanningError
 from repro.core.executor import execute
 from repro.core.planner import ALGORITHMS, choose_algorithm, plan
 from repro.core.query import IntervalJoinQuery
-from repro.core.results import ExecutionMetrics, JoinResult
+from repro.core.results import ExecutionMetrics
 from repro.core.schema import Relation
 from repro.intervals.interval import Interval
 

@@ -7,7 +7,7 @@ from tests.conftest import make_dataset
 from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
 from repro.core.results import ExecutionMetrics, JoinResult
-from repro.core.schema import Relation, Row
+from repro.core.schema import Row
 from repro.core.validation import (
     ValidationError,
     assert_equivalent,

@@ -1,7 +1,6 @@
 """Smoke checks for the example scripts and documentation hygiene."""
 
 import importlib.util
-import os
 import pathlib
 
 import pytest

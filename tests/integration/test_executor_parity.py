@@ -1,0 +1,94 @@
+"""Executor parity: ``threads`` must equal ``serial`` exactly.
+
+The thread-pool reduce executor exists to prove task code is
+self-contained; these tests pin the contract — identical output tuples,
+identical counters, and (with an observer attached) the identical span
+set, on both a hybrid and a sequence query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.obs import TraceRecorder
+
+from tests.conftest import make_dataset
+
+HYBRID_QUERY = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+)
+SEQUENCE_QUERY = IntervalJoinQuery.parse([("R1", "before", "R2")])
+
+
+def _run(query, data, executor):
+    recorder = TraceRecorder()
+    result = execute(
+        query,
+        data,
+        num_partitions=6,
+        executor=executor,
+        observer=recorder,
+    )
+    return result, recorder
+
+
+def _span_profile(recorder):
+    """The order-insensitive span fingerprint of a run."""
+    return sorted(
+        (
+            span.kind,
+            span.name,
+            span.attributes.get("job"),
+            span.attributes.get("task_index"),
+        )
+        for span in recorder.spans
+    )
+
+
+@pytest.mark.parametrize(
+    "query,names",
+    [
+        (HYBRID_QUERY, ("R1", "R2", "R3")),
+        (SEQUENCE_QUERY, ("R1", "R2")),
+    ],
+    ids=["hybrid", "sequence"],
+)
+def test_threads_matches_serial(query, names):
+    data = make_dataset(names, 80, seed=7)
+    serial_result, serial_rec = _run(query, data, "serial")
+    threads_result, threads_rec = _run(query, data, "threads")
+
+    # same tuples
+    assert serial_result.tuple_ids() == threads_result.tuple_ids()
+    assert len(serial_result) > 0
+
+    # same counters, job by job
+    assert len(serial_rec.job_results) == len(threads_rec.job_results)
+    for serial_job, threads_job in zip(
+        serial_rec.job_results, threads_rec.job_results
+    ):
+        assert serial_job.name == threads_job.name
+        assert (
+            serial_job.counters.as_dict() == threads_job.counters.as_dict()
+        )
+        assert serial_job.reduce_task_loads == threads_job.reduce_task_loads
+        assert (
+            serial_job.reduce_task_outputs == threads_job.reduce_task_outputs
+        )
+
+    # same metric totals
+    for field in (
+        "num_cycles",
+        "map_output_records",
+        "shuffled_records",
+        "comparisons",
+        "output_records",
+    ):
+        assert getattr(serial_result.metrics, field) == getattr(
+            threads_result.metrics, field
+        ), field
+
+    # same trace span set (names, kinds, job/task attribution)
+    assert _span_profile(serial_rec) == _span_profile(threads_rec)

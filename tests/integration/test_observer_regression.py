@@ -1,0 +1,90 @@
+"""Observation is passive: attaching a TraceRecorder changes nothing.
+
+The acceptance bar for the observability layer — for every algorithm,
+running with an observer must yield bit-identical output tuples and
+counter values to running without one (which in turn is the seed
+behaviour, pinned by the rest of the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.obs import TraceRecorder
+
+from tests.conftest import make_dataset
+
+COLOCATION = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+)
+SEQUENCE = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R2", "before", "R3")]
+)
+HYBRID = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+)
+
+CASES = [
+    ("two_way", IntervalJoinQuery.parse([("R1", "overlaps", "R2")]),
+     ("R1", "R2")),
+    ("rccis", COLOCATION, ("R1", "R2", "R3")),
+    ("all_replicate", SEQUENCE, ("R1", "R2", "R3")),
+    ("all_matrix", SEQUENCE, ("R1", "R2", "R3")),
+    ("two_way_cascade", SEQUENCE, ("R1", "R2", "R3")),
+    ("all_seq_matrix", HYBRID, ("R1", "R2", "R3")),
+    ("pasm", HYBRID, ("R1", "R2", "R3")),
+    ("gen_matrix", HYBRID, ("R1", "R2", "R3")),
+    ("fcts", HYBRID, ("R1", "R2", "R3")),
+    ("fstc", HYBRID, ("R1", "R2", "R3")),
+]
+
+
+def _metric_fingerprint(result):
+    m = result.metrics
+    return {
+        "algorithm": m.algorithm,
+        "num_cycles": m.num_cycles,
+        "map_output_records": m.map_output_records,
+        "shuffled_records": m.shuffled_records,
+        "replicated_intervals": m.replicated_intervals,
+        "replicated_pairs": m.replicated_pairs,
+        "pruned_rows": m.pruned_rows,
+        "comparisons": m.comparisons,
+        "records_read": m.records_read,
+        "output_records": m.output_records,
+        "reducer_loads": dict(m.reducer_loads),
+        "simulated_seconds": m.simulated_seconds,
+    }
+
+
+@pytest.mark.parametrize(
+    "algorithm,query,names", CASES, ids=[case[0] for case in CASES]
+)
+def test_observed_run_is_bit_identical(algorithm, query, names):
+    data = make_dataset(names, 60, seed=11)
+    plain = execute(query, data, algorithm=algorithm, num_partitions=5)
+    recorder = TraceRecorder()
+    observed = execute(
+        query, data, algorithm=algorithm, num_partitions=5, observer=recorder
+    )
+    assert plain.tuple_ids() == observed.tuple_ids()
+    assert _metric_fingerprint(plain) == _metric_fingerprint(observed)
+    # and the observer did actually see the run.
+    assert recorder.find(kind="query")
+    assert recorder.find(kind="job")
+    assert recorder.job_results
+
+
+def test_planner_empty_query_records_a_query_span():
+    query = IntervalJoinQuery.parse(
+        [("R1", "before", "R2"), ("R2", "before", "R1")]
+    )
+    data = make_dataset(("R1", "R2"), 10, seed=3)
+    recorder = TraceRecorder()
+    result = execute(query, data, observer=recorder)
+    assert len(result) == 0
+    (span,) = recorder.find(kind="query")
+    assert span.attributes.get("planner_empty") is True
+    assert recorder.job_results == []

@@ -1,6 +1,5 @@
 """Integration: end-to-end runs of the paper's concrete scenarios."""
 
-import pytest
 
 from tests.conftest import assert_matches_reference
 

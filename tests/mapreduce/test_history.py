@@ -1,0 +1,94 @@
+"""JobHistory persistence: per-task columns and backward compatibility."""
+
+from __future__ import annotations
+
+import json
+
+from repro.mapreduce import Counters, InMemoryFileSystem, run_job
+from repro.mapreduce.history import JobHistory, JobRecord
+from repro.mapreduce.job import InputSpec, JobConf, JobResult
+from repro.mapreduce.task import Mapper, Reducer
+
+
+class _ModMapper(Mapper):
+    def map(self, record, context):
+        context.emit(record % 3, record)
+
+
+class _CountReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.counters.increment("work", "comparisons", len(values))
+        context.emit((key, len(values)))
+
+
+def _run() -> JobResult:
+    fs = InMemoryFileSystem()
+    fs.write("in/r", list(range(12)), overwrite=True)
+    conf = JobConf(
+        name="mod",
+        inputs=[InputSpec("in/r", _ModMapper())],
+        reducer=_CountReducer(),
+        output="out",
+        num_reduce_tasks=3,
+    )
+    return run_job(fs, conf)
+
+
+class TestPerTaskColumns:
+    def test_record_captures_task_outputs_and_comparisons(self):
+        result = _run()
+        record = JobRecord.from_result(result)
+        assert record.reduce_task_outputs == result.reduce_task_outputs
+        assert (
+            record.reduce_task_comparisons == result.reduce_task_comparisons
+        )
+        assert sum(record.reduce_task_outputs) == record.output_records
+        assert len(record.reduce_task_comparisons) == len(
+            record.reduce_task_loads
+        )
+
+    def test_roundtrip_preserves_task_columns(self, tmp_path):
+        history = JobHistory()
+        history.record(_run())
+        path = tmp_path / "history.json"
+        history.save(str(path))
+        loaded = JobHistory.load(str(path))
+        assert len(loaded) == 1
+        (original,), (reloaded,) = list(history), list(loaded)
+        assert reloaded == original
+        assert reloaded.reduce_task_outputs
+        assert reloaded.reduce_task_comparisons
+
+
+class TestBackwardCompatibility:
+    def test_load_accepts_pre_1_1_history(self, tmp_path):
+        """Histories written before the per-task columns existed must
+        still load, with the new fields defaulting to empty."""
+        old_entry = {
+            "name": "legacy",
+            "map_input_records": 10,
+            "map_output_records": 10,
+            "shuffled_records": 10,
+            "reduce_input_groups": 3,
+            "output_records": 3,
+            "reduce_task_loads": [4, 3, 3],
+            "user_counters": {"work": {"comparisons": 10}},
+        }
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps([old_entry]))
+        history = JobHistory.load(str(path))
+        (record,) = list(history)
+        assert record.name == "legacy"
+        assert record.reduce_task_outputs == []
+        assert record.reduce_task_comparisons == []
+        assert history.totals()["jobs"] == 1
+
+
+def test_counters_snapshot_not_required_for_history():
+    """The history path relies only on Counters.as_dict(); the new
+    snapshot/delta helpers do not perturb it."""
+    counters = Counters()
+    counters.increment("work", "comparisons", 5)
+    snap = counters.snapshot()
+    assert snap == counters.as_dict()
+    assert snap is not counters.as_dict()

@@ -7,7 +7,7 @@ from repro.errors import MapReduceError
 from repro.mapreduce.fs import InMemoryFileSystem
 from repro.mapreduce.job import InputSpec, JobConf
 from repro.mapreduce.runner import run_job
-from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+from repro.mapreduce.task import Mapper, Reducer
 
 
 class TokenizeMapper(Mapper):

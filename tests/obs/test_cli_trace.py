@@ -1,0 +1,144 @@
+"""CLI observability artifacts: ``repro run --trace/--history/--report``.
+
+The trace test validates the emitted file against the Chrome trace-event
+schema (the subset Perfetto/``chrome://tracing`` require): a JSON object
+with a ``traceEvents`` array whose complete events carry ``name``,
+``cat``, ``ph == "X"``, numeric non-negative ``ts``/``dur`` and integer
+``pid``/``tid``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_relation
+from repro.mapreduce.history import JobHistory
+from repro.workloads import SyntheticConfig, generate_relation
+
+
+@pytest.fixture
+def quickstart_files(tmp_path):
+    """The quickstart query's relations, saved as CLI input files."""
+    paths = {}
+    for seed, name in enumerate(("R1", "R2", "R3"), start=1):
+        relation = generate_relation(
+            name,
+            SyntheticConfig(
+                n=120,
+                start_dist="uniform",
+                length_dist="uniform",
+                t_range=(0, 5_000),
+                length_range=(1, 100),
+                seed=seed,
+            ),
+        )
+        path = tmp_path / f"{name.lower()}.jsonl"
+        save_relation(relation, str(path))
+        paths[name] = str(path)
+    return paths
+
+
+def _run_args(quickstart_files):
+    return [
+        "run",
+        "--relation", f"R1={quickstart_files['R1']}",
+        "--relation", f"R2={quickstart_files['R2']}",
+        "--relation", f"R3={quickstart_files['R3']}",
+        "--condition", "R1 overlaps R2",
+        "--condition", "R2 overlaps R3",
+        "--partitions", "8",
+    ]
+
+
+def assert_valid_trace_events(payload) -> None:
+    """Validate the Chrome trace-event JSON schema subset we emit."""
+    assert isinstance(payload, dict)
+    events = payload["traceEvents"]
+    assert isinstance(events, list) and events
+    complete = [event for event in events if event.get("ph") == "X"]
+    assert complete, "at least one complete event"
+    for event in complete:
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["cat"], str)
+        assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert isinstance(event.get("args", {}), dict)
+
+
+class TestTraceArtifact:
+    def test_chrome_trace_on_quickstart_query(self, quickstart_files, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        exit_code = main(_run_args(quickstart_files) + ["--trace", str(trace)])
+        assert exit_code == 0
+        payload = json.loads(trace.read_text())
+        assert_valid_trace_events(payload)
+        categories = {
+            event["cat"]
+            for event in payload["traceEvents"]
+            if event.get("ph") == "X"
+        }
+        # the full span hierarchy made it into the artifact.
+        assert {"query", "algorithm", "job", "phase", "task"} <= categories
+        # rccis (the planner's choice for a colocation chain) runs two
+        # cycles: both job spans are present.
+        jobs = {
+            event["name"]
+            for event in payload["traceEvents"]
+            if event.get("cat") == "job"
+        }
+        assert jobs == {"job:rccis-flag", "job:rccis-join"}
+
+    def test_jsonl_trace(self, quickstart_files, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        exit_code = main(
+            _run_args(quickstart_files)
+            + ["--trace", str(trace), "--trace-format", "jsonl"]
+        )
+        assert exit_code == 0
+        entries = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert entries
+        kinds = {entry["kind"] for entry in entries}
+        assert {"query", "algorithm", "job", "phase", "task"} <= kinds
+        by_id = {entry["id"]: entry for entry in entries}
+        for entry in entries:
+            if entry["parent"] is not None:
+                assert entry["parent"] in by_id
+
+
+class TestHistoryAndReport:
+    def test_history_saved_and_totals_printed(
+        self, quickstart_files, tmp_path, capsys
+    ):
+        history_path = tmp_path / "history.json"
+        exit_code = main(
+            _run_args(quickstart_files) + ["--history", str(history_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out and "jobs=2" in out
+        history = JobHistory.load(str(history_path))
+        assert [record.name for record in history] == [
+            "rccis-flag",
+            "rccis-join",
+        ]
+        # the new per-task columns are persisted.
+        assert all(
+            len(record.reduce_task_outputs) == len(record.reduce_task_loads)
+            for record in history
+        )
+        assert history.totals()["jobs"] == 2
+
+    def test_report_printed(self, quickstart_files, capsys):
+        exit_code = main(_run_args(quickstart_files) + ["--report"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "run report" in out
+        assert "job rccis-flag:" in out
+        assert "job rccis-join:" in out

@@ -1,0 +1,145 @@
+"""RunReport: skew, straggler and empty-task diagnosis."""
+
+from __future__ import annotations
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobResult
+from repro.obs import RunReport, TraceRecorder
+from repro.obs.span import Span
+from repro.workloads import SyntheticConfig, generate_relation
+
+
+def _job_result(name, loads, outputs=None, comparisons=None) -> JobResult:
+    return JobResult(
+        name=name,
+        counters=Counters(),
+        reduce_task_loads=list(loads),
+        logical_reducer_loads={},
+        output=f"{name}/out",
+        output_records=sum(outputs or []),
+        reduce_task_outputs=list(outputs or []),
+        reduce_task_comparisons=list(comparisons or []),
+    )
+
+
+class TestLoadFlags:
+    def test_balanced_job_not_flagged(self):
+        report = RunReport.from_observations(
+            [_job_result("even", [10, 11, 9, 10], outputs=[1, 1, 1, 1])]
+        )
+        assert report.skewed_jobs == []
+        assert report.flags_for(reason="skew") == []
+
+    def test_hot_reducer_flagged(self):
+        report = RunReport.from_observations(
+            [_job_result("hot", [5, 5, 5, 85], outputs=[1, 1, 1, 1])]
+        )
+        assert [j.name for j in report.skewed_jobs] == ["hot"]
+        (flag,) = report.flags_for(reason="skew")
+        assert flag.task_index == 3
+        assert flag.load == 85
+        assert "skew" in report.render()
+
+    def test_empty_output_tasks_flagged(self):
+        report = RunReport.from_observations(
+            [_job_result("e", [10, 10], outputs=[5, 0])]
+        )
+        (flag,) = report.flags_for(reason="empty-output")
+        assert flag.task_index == 1
+
+    def test_single_task_job_never_skewed(self):
+        report = RunReport.from_observations(
+            [_job_result("solo", [100], outputs=[3])]
+        )
+        assert report.skewed_jobs == []
+
+
+class TestStragglerFlags:
+    def _task_span(self, sid, job, index, start, end) -> Span:
+        return Span(
+            name=f"reduce[{index}]",
+            kind="task",
+            span_id=sid,
+            parent_id=None,
+            start=start,
+            end=end,
+            attributes={"phase": "reduce", "job": job, "task_index": index},
+        )
+
+    def test_slow_task_flagged(self):
+        spans = [
+            self._task_span(1, "j", 0, 0.0, 0.010),
+            self._task_span(2, "j", 1, 0.0, 0.011),
+            self._task_span(3, "j", 2, 0.0, 0.100),
+        ]
+        report = RunReport.from_observations([], spans, straggler_factor=3.0)
+        (flag,) = report.flags_for(reason="straggler")
+        assert flag.task_index == 2
+
+    def test_uniform_tasks_not_flagged(self):
+        spans = [
+            self._task_span(i, "j", i, 0.0, 0.010 + i * 0.001)
+            for i in range(4)
+        ]
+        report = RunReport.from_observations([], spans)
+        assert report.flags_for(reason="straggler") == []
+
+
+class TestSkewedWorkload:
+    """The Figure-4 acceptance scenario: All-Replicate on a sequence
+    join piles the load onto the right-most reducer; the report must
+    flag it."""
+
+    def _zipf_data(self):
+        # R2 (the projected side of ``R1 before R2``) is zipf-skewed:
+        # its start points pile into the first partition, which becomes
+        # the hot reducer; R1 is replicated everywhere and only raises
+        # the floor.
+        return {
+            "R1": generate_relation(
+                "R1",
+                SyntheticConfig(
+                    n=100,
+                    start_dist="uniform",
+                    t_range=(0, 1_000),
+                    length_range=(1, 100),
+                    seed=0,
+                ),
+            ),
+            "R2": generate_relation(
+                "R2",
+                SyntheticConfig(
+                    n=600,
+                    start_dist="zipf",
+                    t_range=(0, 1_000),
+                    length_range=(1, 100),
+                    seed=1,
+                ),
+            ),
+        }
+
+    def test_all_replicate_hot_reducer_flagged(self):
+        query = IntervalJoinQuery.parse([("R1", "before", "R2")])
+        recorder = TraceRecorder()
+        result = execute(
+            query,
+            self._zipf_data(),
+            algorithm="all_replicate",
+            num_partitions=6,
+            observer=recorder,
+        )
+        assert len(result) > 0
+        report = RunReport.from_recorder(recorder)
+        assert [j.name for j in report.skewed_jobs] == ["all-replicate"]
+        skew_flags = report.flags_for(reason="skew", job="all-replicate")
+        assert skew_flags, "hot reducer must be flagged"
+        # The flagged task is the one the job measured as hottest —
+        # the right-most partition that receives every R1 replica.
+        (job_result,) = recorder.job_results
+        hottest = max(
+            range(len(job_result.reduce_task_loads)),
+            key=job_result.reduce_task_loads.__getitem__,
+        )
+        assert hottest in {flag.task_index for flag in skew_flags}

@@ -1,6 +1,6 @@
 """Property-based tests for partitionings and the Section-3 primitives."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.intervals.interval import Interval
