@@ -1,0 +1,116 @@
+"""Shuffle key-sort micro-benchmark — cached repr vs naive re-sorting.
+
+The shuffle orders keys by ``repr`` (the only total order over mixed key
+types).  The seed implementation called ``sorted(keys, key=repr)`` in
+``shuffle()`` *and again* inside ``RoundRobinKeyPartitioner.prepare``,
+recomputing every key's ``repr`` per consumer.  The current
+implementation decorates once (:func:`repro.mapreduce.shuffle._sorted_by_repr`)
+and hands the sorted ``(repr, key)`` pairs to the partitioner via
+``prepare_sorted``.  This benchmark times both on 100k grid-coordinate
+keys and writes ``BENCH_shuffle_sort.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+from common import emit_bench_json, print_section, render_table  # noqa: E402
+
+from repro.mapreduce.shuffle import (  # noqa: E402
+    RoundRobinKeyPartitioner,
+    _sorted_by_repr,
+)
+
+N_KEYS = 100_000
+
+
+def make_keys(n=N_KEYS):
+    """Grid-coordinate tuple keys, the shape the matrix algorithms emit."""
+    import random
+
+    side = int(n ** 0.5) + 1
+    keys = [(i // side, i % side) for i in range(n)]
+    random.Random(0).shuffle(keys)
+    return keys
+
+
+def naive_double_sort(keys):
+    """The seed behaviour: each consumer re-sorts with ``key=repr``."""
+    ordered_for_groups = sorted(keys, key=repr)
+    ordered_for_partitioner = sorted(keys, key=repr)
+    table = {key: index for index, key in enumerate(ordered_for_partitioner)}
+    return ordered_for_groups, table
+
+
+def cached_single_sort(keys):
+    """The current behaviour: one decorate-sort shared by both consumers."""
+    ordered = _sorted_by_repr(keys)
+    partitioner = RoundRobinKeyPartitioner()
+    partitioner.prepare_sorted(ordered)
+    return [key for _, key in ordered], partitioner._table
+
+
+def _best_of(fn, keys, repeats=5):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(keys)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main() -> None:
+    keys = make_keys()
+    print_section(
+        f"Shuffle key sort — naive double repr-sort vs cached decorate-sort "
+        f"({len(keys):,} keys)"
+    )
+    # Both must order keys identically and build the identical table.
+    naive_order, naive_table = naive_double_sort(keys)
+    cached_order, cached_table = cached_single_sort(keys)
+    assert naive_order == cached_order
+    assert naive_table == cached_table
+
+    naive_s = _best_of(naive_double_sort, keys)
+    cached_s = _best_of(cached_single_sort, keys)
+    speedup = naive_s / cached_s
+    print(
+        render_table(
+            "best of 5",
+            ["variant", "seconds", "speedup"],
+            [
+                ["naive double sort", f"{naive_s:.4f}", "1.00"],
+                ["cached decorate-sort", f"{cached_s:.4f}", f"{speedup:.2f}"],
+            ],
+        )
+    )
+    emit_bench_json(
+        "shuffle_sort",
+        {
+            "num_keys": len(keys),
+            "naive_double_sort_seconds": round(naive_s, 6),
+            "cached_decorate_sort_seconds": round(cached_s, 6),
+            "speedup": round(speedup, 3),
+        },
+    )
+
+
+# ---------------------------------------------------------------- pytest
+@pytest.mark.parametrize(
+    "variant,fn",
+    [("naive", naive_double_sort), ("cached", cached_single_sort)],
+)
+def test_shuffle_sort(benchmark, variant, fn):
+    keys = make_keys(20_000)
+    benchmark.pedantic(fn, args=(keys,), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

@@ -19,11 +19,14 @@ Each ``bench_*`` module exposes
 
 from __future__ import annotations
 
+import datetime
 import itertools
+import json
 import os
+import platform
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
@@ -36,6 +39,7 @@ __all__ = [
     "scaled_cost_model",
     "run_algorithm",
     "trace_artifact_dir",
+    "emit_bench_json",
     "human_count",
     "human_seconds",
     "render_table",
@@ -44,6 +48,10 @@ __all__ = [
 
 #: Environment variable naming a directory for per-run trace artifacts.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Environment variable naming the directory BENCH_*.json artifacts go to
+#: (default: the current working directory).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 _TRACE_SEQ = itertools.count(1)
 
@@ -139,6 +147,36 @@ def run_algorithm(
     # duplicates (scales where the reference oracle cannot).
     validate_result(result)
     return result
+
+
+def emit_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
+
+    The file lands in ``$REPRO_BENCH_DIR`` (created if needed) or the
+    current directory, and wraps ``payload`` in an envelope recording the
+    environment the numbers were measured on — CPU count above all, since
+    parallel-executor speedups are meaningless without it.  Returns the
+    path written.
+    """
+    directory = os.environ.get(BENCH_DIR_ENV, "").strip() or "."
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {
+        "benchmark": name,
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path
 
 
 def print_section(title: str) -> None:

@@ -22,6 +22,8 @@ sys.path.insert(0, os.path.dirname(__file__))
 import bench_ablation_partitions  # noqa: E402
 import bench_ablation_shares  # noqa: E402
 import bench_ablation_skew  # noqa: E402
+import bench_executors  # noqa: E402
+import bench_shuffle_sort  # noqa: E402
 import bench_fig4_load_balance  # noqa: E402
 import bench_fig5_sequence  # noqa: E402
 import bench_table1_colocation  # noqa: E402
@@ -39,6 +41,8 @@ EXPERIMENTS = {
     "ablation_partitions": bench_ablation_partitions.main,
     "ablation_shares": bench_ablation_shares.main,
     "ablation_skew": bench_ablation_skew.main,
+    "executors": bench_executors.main,
+    "shuffle_sort": bench_shuffle_sort.main,
 }
 
 

@@ -109,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--partitions", type=int, default=16)
     run.add_argument(
+        "--executor", default=None,
+        choices=["serial", "threads", "processes"],
+        help="MapReduce executor (default: $REPRO_EXECUTOR, then serial)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the parallel executors "
+        "(default: $REPRO_WORKERS, then the CPU count)",
+    )
+    run.add_argument(
         "--partition-strategy", default="uniform",
         choices=["uniform", "equi_depth"],
     )
@@ -202,6 +212,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"class:  {query.query_class.name}")
         print(f"plan:   {chosen.reason}")
         return 0
+    # Validate executor/workers up front so bad values fail before any work.
+    from repro.mapreduce.runner import resolve_executor, resolve_workers
+
+    executor = resolve_executor(args.executor)
+    workers = resolve_workers(args.workers)
     observer = None
     if args.trace or args.history or args.report:
         from repro.obs import TraceRecorder, open_sink
@@ -214,6 +229,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         num_partitions=args.partitions,
         partition_strategy=args.partition_strategy,
+        executor=executor,
+        workers=workers,
         observer=observer,
     )
     if observer is not None:
@@ -222,6 +239,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"query:      {query}")
     print(f"class:      {query.query_class.name}")
     print(f"algorithm:  {m.algorithm}")
+    print(f"executor:   {executor} ({workers} workers)")
     print(f"tuples:     {len(result)}")
     print(f"cycles:     {m.num_cycles}")
     print(f"shuffled:   {human_count(m.shuffled_records)} pairs")

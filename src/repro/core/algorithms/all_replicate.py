@@ -113,7 +113,8 @@ class AllReplicate(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -127,7 +128,7 @@ class AllReplicate(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
-            observer=observer, cost_model=cost_model,
+            observer=observer, cost_model=cost_model, workers=workers,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -97,7 +97,8 @@ class JoinAlgorithm(abc.ABC):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -115,7 +116,13 @@ class JoinAlgorithm(abc.ABC):
         fs:
             File system to run against (fresh in-memory one by default).
         executor:
-            MapReduce executor, ``"serial"`` or ``"threads"``.
+            MapReduce executor: ``"serial"``, ``"threads"`` or
+            ``"processes"``; ``None`` defers to ``$REPRO_EXECUTOR`` and
+            then ``"serial"``.  All three are bit-identical in outputs
+            and counters.
+        workers:
+            Worker count for the parallel executors (``None``: see
+            :func:`repro.mapreduce.runner.resolve_workers`).
         cost_model:
             Converts counters to modelled seconds.
         partitioning:
@@ -136,11 +143,12 @@ class JoinAlgorithm(abc.ABC):
         data: Mapping[str, Relation],
         num_partitions: int,
         fs: Optional[FileSystem],
-        executor: str,
+        executor: Optional[str],
         partitioning: Optional[Partitioning],
         partition_strategy: str,
         observer: Optional[TraceRecorder] = None,
         cost_model: Optional[CostModel] = None,
+        workers: Optional[int] = None,
     ) -> Tuple[FileSystem, Pipeline, Partitioning]:
         """Common preamble: file system, pipeline, partitioning, inputs."""
         if num_partitions < 1:
@@ -151,6 +159,7 @@ class JoinAlgorithm(abc.ABC):
             executor=executor,
             observer=observer,
             cost_model=cost_model,
+            workers=workers,
         )
         if partitioning is None:
             partitioning = build_partitioning(

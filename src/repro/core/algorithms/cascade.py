@@ -278,7 +278,7 @@ class _StepJoinReducer(Reducer):
                 _, row = payload  # type: ignore[misc]
                 new_rows.append((row.interval(self._new_attr), row))
 
-        from repro.intervals.sweep import before_pairs, intersecting_pairs
+        from repro.intervals.sweep import join_pairs
 
         predicate = self.routing.predicate
         if self._new_is_left:
@@ -286,27 +286,17 @@ class _StepJoinReducer(Reducer):
         else:
             left_items, right_items = partials, new_rows
 
-        if predicate.is_colocation:
-            raw = intersecting_pairs(left_items, right_items)
-        elif predicate.name == "before":
-            raw = before_pairs(left_items, right_items)
-        else:  # after
-            raw = (
-                (litem, ritem)
-                for ritem, litem in before_pairs(right_items, left_items)
-            )
-
         def candidates():
-            # Count every candidate the sweep examines, mirroring how
-            # LocalJoiner charges index-probe candidates, so the cost
-            # model compares algorithms on equal terms.
-            for litem, ritem in raw:
+            # The routing condition runs through the per-predicate sweep
+            # kernels — output-sensitive, so only satisfying pairs are
+            # enumerated (and charged as comparisons, mirroring how
+            # LocalJoiner charges the pairs it examines).
+            for litem, ritem in join_pairs(left_items, right_items, predicate):
                 context.counters.increment("work", "comparisons")
-                if predicate.holds(litem[0], ritem[0]):
-                    if self._new_is_left:
-                        yield ritem, litem
-                    else:
-                        yield litem, ritem
+                if self._new_is_left:
+                    yield ritem, litem
+                else:
+                    yield litem, ritem
 
         for (_, partial), (_, row) in candidates():
             members = dict(partial)
@@ -364,7 +354,8 @@ class TwoWayCascade(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -377,7 +368,7 @@ class TwoWayCascade(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
-            observer=observer, cost_model=cost_model,
+            observer=observer, cost_model=cost_model, workers=workers,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -53,8 +53,13 @@ import numpy as np
 from repro.intervals.allen import AllenPredicate
 from repro.intervals.interval import Interval
 from repro.intervals.partitioning import Partitioning
+from repro.intervals.sweep import join_pairs
 
 __all__ = ["CrossingSetFinder", "has_late_escape"]
+
+#: Above this many cells the dense vectorised predicate product is
+#: replaced by an output-sensitive fill through the sweep kernels.
+_DENSE_CELL_LIMIT = 16384
 
 #: conditions keyed by relation name, as produced by
 #: :meth:`repro.core.query.IntervalJoinQuery.conditions_as_triples`.
@@ -105,6 +110,34 @@ def _predicate_matrix(
     if name == "equals":
         return (a_s == b_s) & (a_e == b_e)
     raise AssertionError(f"unhandled predicate {name}")  # pragma: no cover
+
+
+def _support_matrix(
+    predicate: AllenPredicate,
+    s1: np.ndarray,
+    e1: np.ndarray,
+    s2: np.ndarray,
+    e2: np.ndarray,
+) -> np.ndarray:
+    """``M[i, j] = predicate(left_i, right_j)``, computed densely for
+    small sides and through the per-predicate sweep kernels
+    (:func:`repro.intervals.sweep.join_pairs`) for large ones — the
+    kernels enumerate only the true cells, so sparse support matrices
+    cost ``O(n log n + k)`` instead of the full cross product."""
+    if s1.size * s2.size <= _DENSE_CELL_LIMIT:
+        return _predicate_matrix(predicate, s1, e1, s2, e2)
+    left = [
+        (Interval(float(s), float(e)), i)
+        for i, (s, e) in enumerate(zip(s1, e1))
+    ]
+    right = [
+        (Interval(float(s), float(e)), j)
+        for j, (s, e) in enumerate(zip(s2, e2))
+    ]
+    matrix = np.zeros((s1.size, s2.size), dtype=bool)
+    for (_, i), (_, j) in join_pairs(left, right, predicate):
+        matrix[i, j] = True
+    return matrix
 
 
 def order_reachability(
@@ -216,7 +249,7 @@ class CrossingSetFinder:
 
         crossing_left, crossing_right = self._crossing_masks(starts, ends)
         support = {
-            index: _predicate_matrix(
+            index: _support_matrix(
                 cond[1], starts[cond[0]], ends[cond[0]],
                 starts[cond[2]], ends[cond[2]],
             )

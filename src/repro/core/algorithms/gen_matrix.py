@@ -535,7 +535,8 @@ class GenMatrix(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -561,7 +562,7 @@ class GenMatrix(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, per_dim_parts[0], fs, executor,
             partitioning, partition_strategy,
-            observer=observer, cost_model=cost_model,
+            observer=observer, cost_model=cost_model, workers=workers,
         )
         if partitioning is not None or len(set(per_dim_parts)) == 1:
             partitionings: List[Partitioning] = [parts] * len(

@@ -170,7 +170,8 @@ class FCTS(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -215,6 +216,7 @@ class FCTS(JoinAlgorithm):
                     num_partitions=num_partitions,
                     fs=InMemoryFileSystem(),
                     executor=executor,
+                    workers=workers,
                     cost_model=cost_model,
                     partition_strategy=partition_strategy,
                     observer=observer,
@@ -254,6 +256,7 @@ class FCTS(JoinAlgorithm):
         pipeline = Pipeline(
             file_system,
             executor=executor,
+            workers=workers,
             observer=observer,
             cost_model=cost_model,
         )
@@ -323,7 +326,8 @@ class FSTC(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -354,6 +358,7 @@ class FSTC(JoinAlgorithm):
             num_partitions=grid_o,
             fs=InMemoryFileSystem(),
             executor=executor,
+            workers=workers,
             cost_model=cost_model,
             partition_strategy=partition_strategy,
             observer=observer,
@@ -380,6 +385,7 @@ class FSTC(JoinAlgorithm):
         pipeline = Pipeline(
             file_system,
             executor=executor,
+            workers=workers,
             observer=observer,
             cost_model=cost_model,
         )

@@ -171,7 +171,8 @@ class PASM(JoinAlgorithm):
         *,
         num_partitions: int = 16,
         fs: Optional[FileSystem] = None,
-        executor: str = "serial",
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
@@ -190,7 +191,7 @@ class PASM(JoinAlgorithm):
         file_system, pipeline, parts = self._setup(
             query, data, grid_parts, fs, executor,
             partitioning, partition_strategy,
-            observer=observer, cost_model=cost_model,
+            observer=observer, cost_model=cost_model, workers=workers,
         )
         grid = GridSpec(graph, parts)
         multi_components = [

@@ -39,7 +39,8 @@ def execute(
     *,
     num_partitions: int = 16,
     fs: Optional[FileSystem] = None,
-    executor: str = "serial",
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     partitioning: Optional[Partitioning] = None,
     partition_strategy: str = "uniform",
@@ -57,6 +58,12 @@ def execute(
         :data:`~repro.core.planner.ALGORITHMS` or an instance.  When
         omitted the planner picks the paper's algorithm for the query
         class (and proves trivially empty queries without running jobs).
+    executor, workers:
+        Execution backend (``"serial"``, ``"threads"`` or
+        ``"processes"``) and its worker count; ``None`` defers to the
+        ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` environment variables and
+        then the serial default.  Outputs and counters are bit-identical
+        across backends.
     prune:
         For hybrid queries, prefer PASM over All-Seq-Matrix.
     observer:
@@ -101,6 +108,7 @@ def execute(
             num_partitions=num_partitions,
             fs=fs,
             executor=executor,
+            workers=workers,
             cost_model=cost_model,
             partitioning=partitioning,
             partition_strategy=partition_strategy,

@@ -37,6 +37,7 @@ from typing import (
 from repro.core.query import IntervalJoinQuery, JoinCondition
 from repro.core.schema import Row
 from repro.intervals.interval import Interval
+from repro.intervals.sweep import join_pairs
 from repro.intervals.tree import IntervalTree
 
 __all__ = ["LocalJoiner"]
@@ -153,6 +154,13 @@ class LocalJoiner:
         ):
             return
 
+        if len(self.query.relations) == 2 and all(
+            c.left.relation != c.right.relation
+            for c in self.query.conditions
+        ):
+            yield from self._join_two_way(rows_by_relation, accept)
+            return
+
         indexes: Dict[str, _RelationIndex] = {}
         for name in self.query.relations:
             attrs = self.query.attributes_of(name)
@@ -230,3 +238,46 @@ class LocalJoiner:
             binding.pop(name, None)
 
         yield from extend(0)
+
+    # ------------------------------------------------------------------
+    def _join_two_way(
+        self,
+        rows_by_relation: Mapping[str, Sequence[Row]],
+        accept: Optional[Callable[[Mapping[str, Row]], bool]],
+    ) -> Iterator[Tuple[Row, ...]]:
+        """2-relation fast path.
+
+        The first condition is enumerated in batch through the
+        per-predicate sweep kernels
+        (:func:`repro.intervals.sweep.join_pairs`) instead of row-at-a-
+        time index probes; the remaining conditions are verified per
+        produced pair.  Comparisons are charged per pair examined, like
+        the backtracking path charges per candidate."""
+        primary, *rest = self.query.conditions
+        left_rel = primary.left.relation
+        right_rel = primary.right.relation
+        left_items = [
+            (row.interval(primary.left.attribute), row)
+            for row in rows_by_relation[left_rel]
+        ]
+        right_items = [
+            (row.interval(primary.right.attribute), row)
+            for row in rows_by_relation[right_rel]
+        ]
+        names = self.query.relations
+        for (_, lrow), (_, rrow) in join_pairs(
+            left_items, right_items, primary.predicate
+        ):
+            self._count(1)
+            binding = {left_rel: lrow, right_rel: rrow}
+            ok = True
+            for cond in rest:
+                self._count(1)
+                if not cond.predicate.holds(
+                    binding[cond.left.relation].interval(cond.left.attribute),
+                    binding[cond.right.relation].interval(cond.right.attribute),
+                ):
+                    ok = False
+                    break
+            if ok and (accept is None or accept(binding)):
+                yield tuple(binding[name] for name in names)

@@ -1,15 +1,30 @@
-"""Plane-sweep primitives for 2-way interval joins.
+"""Plane-sweep primitives and per-predicate kernels for 2-way interval joins.
 
 Every reducer-local join eventually enumerates interval pairs satisfying a
-single Allen predicate.  Two access paths are provided:
+single Allen predicate.  Historically this module offered one generic
+path — filter the intersection sweep by ``predicate.holds`` — which pays
+for every intersecting pair even when the predicate is far more
+selective (``meets`` touches only pairs sharing one endpoint; ``equals``
+only identical intervals).  Following the endpoint-index designs of
+Piatov et al. (cache-efficient sweeping for extended Allen predicates),
+each predicate now has a dedicated *kernel* in a registry:
 
 * :func:`intersecting_pairs` — the classical endpoint sweep producing every
   pair of intervals (one from each side) sharing at least one point, in
-  ``O(n log n + k)``.  All eleven colocation predicates imply intersection,
-  so their joins filter this stream.
+  ``O(n log n + k)``.  Still the fallback for predicates with no kernel.
 * :func:`before_pairs` — output-sensitive enumeration for the sequence
-  predicate ``before`` (``after`` is handled by swapping sides), using a
-  sorted prefix scan.
+  predicate ``before`` (``after`` swaps sides), using a sorted prefix scan.
+* :data:`KERNELS` — one output-sensitive kernel per Allen predicate:
+  endpoint hash-groups for ``equals``/``starts``/``finishes`` families,
+  a sorted-start bisect for ``meets``/``overlaps`` families, and a
+  dual-sorted prefix/suffix scan for ``during``/``contains``.  Inverse
+  predicates reuse their converse's kernel with the sides swapped.
+
+:func:`join_pairs` dispatches through the registry; callers never need to
+know which kernel ran.  All kernels enumerate exactly the pairs the
+predicate's truth function accepts (property-tested against the
+brute-force nested loop), so routing a join through :func:`join_pairs`
+is always behaviour-preserving.
 
 Payloads travel with the intervals so callers can join arbitrary records.
 """
@@ -17,17 +32,40 @@ Payloads travel with the intervals so callers can join arbitrary records.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, Sequence, Tuple, TypeVar, Union
+from collections import defaultdict
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
-from repro.intervals.allen import AFTER, BEFORE, AllenPredicate, get_predicate
+from repro.intervals.allen import AllenPredicate, get_predicate
 from repro.intervals.interval import Interval
 
-__all__ = ["intersecting_pairs", "before_pairs", "join_pairs"]
+__all__ = [
+    "intersecting_pairs",
+    "before_pairs",
+    "join_pairs",
+    "KERNELS",
+    "register_kernel",
+    "kernel_for",
+]
 
 L = TypeVar("L")
 R = TypeVar("R")
 
 Item = Tuple[Interval, L]
+#: A kernel enumerates the satisfying cross-side pairs of one predicate.
+Kernel = Callable[
+    [Sequence[Tuple[Interval, L]], Sequence[Tuple[Interval, R]]],
+    Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]],
+]
 
 
 def intersecting_pairs(
@@ -103,6 +141,185 @@ def before_pairs(
             yield ls[k], ri
 
 
+# ----------------------------------------------------------------------
+# Per-predicate kernels.  Conventions: ``u`` is the left operand, ``v``
+# the right; every kernel enumerates exactly the pairs where the
+# predicate's truth function holds, and inverse predicates reuse their
+# converse's kernel through :func:`_swapped`.
+# ----------------------------------------------------------------------
+
+def _swapped(kernel: Kernel) -> Kernel:
+    """The converse kernel: ``P(u, v)`` iff ``inverse(v, u)``, so run the
+    inverse's kernel with the sides exchanged and flip each pair back."""
+
+    def swapped(left, right):
+        for ritem, litem in kernel(right, left):
+            yield litem, ritem
+
+    return swapped
+
+
+def _meets_kernel(left, right):
+    """``u.end == v.start`` with both intervals non-degenerate on the
+    touching side: index rights by start, bisect each left's end."""
+    rs = sorted(
+        (item for item in right if item[0].start < item[0].end),
+        key=lambda item: item[0].start,
+    )
+    starts = [item[0].start for item in rs]
+    for litem in left:
+        u = litem[0]
+        if not u.start < u.end:
+            continue
+        lo = bisect.bisect_left(starts, u.end)
+        hi = bisect.bisect_right(starts, u.end)
+        for k in range(lo, hi):
+            yield litem, rs[k]
+
+
+def _overlaps_kernel(left, right):
+    """``u.start < v.start < u.end < v.end``: the candidate window of each
+    left is the rights starting strictly inside ``u``; the last condition
+    is checked per candidate (every candidate already intersects)."""
+    rs = sorted(right, key=lambda item: item[0].start)
+    starts = [item[0].start for item in rs]
+    for litem in left:
+        u = litem[0]
+        lo = bisect.bisect_right(starts, u.start)
+        hi = bisect.bisect_left(starts, u.end)
+        for k in range(lo, hi):
+            if rs[k][0].end > u.end:
+                yield litem, rs[k]
+
+
+def _starts_kernel(left, right):
+    """``u.start == v.start and u.end < v.end``: hash-group rights by
+    start point, bisect the group's sorted ends."""
+    by_start: Dict[float, List] = defaultdict(list)
+    for item in right:
+        by_start[item[0].start].append(item)
+    ends_by_start: Dict[float, List[float]] = {}
+    for start, group in by_start.items():
+        group.sort(key=lambda item: item[0].end)
+        ends_by_start[start] = [item[0].end for item in group]
+    for litem in left:
+        u = litem[0]
+        group = by_start.get(u.start)
+        if not group:
+            continue
+        for k in range(bisect.bisect_right(ends_by_start[u.start], u.end), len(group)):
+            yield litem, group[k]
+
+
+def _finishes_kernel(left, right):
+    """``u.end == v.end and v.start < u.start``: hash-group rights by end
+    point, bisect the group's sorted starts."""
+    by_end: Dict[float, List] = defaultdict(list)
+    for item in right:
+        by_end[item[0].end].append(item)
+    starts_by_end: Dict[float, List[float]] = {}
+    for end, group in by_end.items():
+        group.sort(key=lambda item: item[0].start)
+        starts_by_end[end] = [item[0].start for item in group]
+    for litem in left:
+        u = litem[0]
+        group = by_end.get(u.end)
+        if not group:
+            continue
+        for k in range(bisect.bisect_left(starts_by_end[u.end], u.start)):
+            yield litem, group[k]
+
+
+def _equals_kernel(left, right):
+    """Hash join on the ``(start, end)`` pair."""
+    table: Dict[Tuple[float, float], List] = defaultdict(list)
+    for item in right:
+        table[(item[0].start, item[0].end)].append(item)
+    for litem in left:
+        u = litem[0]
+        for ritem in table.get((u.start, u.end), ()):
+            yield litem, ritem
+
+
+def _during_kernel(left, right):
+    """``v.start < u.start and u.end < v.end``: two sorted endpoint
+    indexes over the right side; each left scans whichever one-sided
+    candidate set is smaller and filters by the other condition."""
+    by_start = sorted(right, key=lambda item: item[0].start)
+    starts = [item[0].start for item in by_start]
+    by_end = sorted(right, key=lambda item: item[0].end)
+    ends = [item[0].end for item in by_end]
+    n = len(right)
+    for litem in left:
+        u = litem[0]
+        p = bisect.bisect_left(starts, u.start)  # rights starting before u
+        q = bisect.bisect_right(ends, u.end)  # n - q rights ending after u
+        if p <= n - q:
+            for k in range(p):
+                if by_start[k][0].end > u.end:
+                    yield litem, by_start[k]
+        else:
+            for k in range(q, n):
+                if by_end[k][0].start < u.start:
+                    yield litem, by_end[k]
+
+
+#: Kernel registry, keyed by canonical predicate name.  ``join_pairs``
+#: dispatches here; predicates without an entry fall back to filtering
+#: the intersection sweep.
+KERNELS: Dict[str, Kernel] = {}
+
+
+def register_kernel(
+    predicate: Union[str, AllenPredicate], kernel: Kernel
+) -> None:
+    """Register (or replace) the kernel enumerating one predicate's pairs.
+
+    The kernel must yield exactly the cross-side pairs for which the
+    predicate's truth function holds — :func:`join_pairs` trusts it
+    without re-checking.
+    """
+    KERNELS[get_predicate(predicate).name] = kernel
+
+
+def kernel_for(
+    predicate: Union[str, AllenPredicate],
+) -> Optional[Kernel]:
+    """The registered kernel for a predicate, or ``None`` (fallback)."""
+    return KERNELS.get(get_predicate(predicate).name)
+
+
+register_kernel("before", before_pairs)
+register_kernel("after", _swapped(before_pairs))
+register_kernel("meets", _meets_kernel)
+register_kernel("met_by", _swapped(_meets_kernel))
+register_kernel("overlaps", _overlaps_kernel)
+register_kernel("overlapped_by", _swapped(_overlaps_kernel))
+register_kernel("starts", _starts_kernel)
+register_kernel("started_by", _swapped(_starts_kernel))
+register_kernel("during", _during_kernel)
+register_kernel("contains", _swapped(_during_kernel))
+register_kernel("finishes", _finishes_kernel)
+register_kernel("finished_by", _swapped(_finishes_kernel))
+register_kernel("equals", _equals_kernel)
+
+
+def filtered_intersecting_pairs(
+    left: Sequence[Tuple[Interval, L]],
+    right: Sequence[Tuple[Interval, R]],
+    predicate: Union[str, AllenPredicate],
+) -> Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]]:
+    """The generic colocation path: filter the intersection sweep.
+
+    Correct for every colocation predicate (their satisfying pairs all
+    intersect); kept as the fallback for unregistered predicates.
+    """
+    pred = get_predicate(predicate)
+    for litem, ritem in intersecting_pairs(left, right):
+        if pred.holds(litem[0], ritem[0]):
+            yield litem, ritem
+
+
 def join_pairs(
     left: Sequence[Tuple[Interval, L]],
     right: Sequence[Tuple[Interval, R]],
@@ -110,16 +327,12 @@ def join_pairs(
 ) -> Iterator[Tuple[Tuple[Interval, L], Tuple[Interval, R]]]:
     """All cross-side pairs satisfying one Allen predicate.
 
-    Dispatches to the appropriate sweep: colocation predicates filter the
-    intersection stream; ``before``/``after`` use the prefix scan.
+    Dispatches through :data:`KERNELS`; predicates without a registered
+    kernel filter the intersection stream.
     """
     pred = get_predicate(predicate)
-    if pred.name == BEFORE.name:
-        yield from before_pairs(left, right)
-    elif pred.name == AFTER.name:
-        for li, ri in before_pairs(right, left):
-            yield ri, li
+    kernel = KERNELS.get(pred.name)
+    if kernel is not None:
+        yield from kernel(left, right)
     else:
-        for li, ri in intersecting_pairs(left, right):
-            if pred.holds(li[0], ri[0]):
-                yield li, ri
+        yield from filtered_intersecting_pairs(left, right, pred)

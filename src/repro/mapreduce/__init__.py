@@ -4,7 +4,9 @@ Public surface:
 
 * file systems — :class:`InMemoryFileSystem`, :class:`LocalFileSystem`
 * programming model — :class:`Mapper`, :class:`Reducer`, contexts
-* execution — :class:`JobConf`, :func:`run_job`, :class:`Pipeline`
+* execution — :class:`JobConf`, :func:`run_job`, :class:`Pipeline`,
+  the executor backends (:data:`EXECUTORS`, :func:`resolve_executor`,
+  :func:`resolve_workers`, :func:`shutdown_worker_pools`)
 * measurement — :class:`Counters`, :class:`CostModel`
 """
 
@@ -14,11 +16,18 @@ from repro.mapreduce.cost import DEFAULT_COST_MODEL, CostModel
 from repro.mapreduce.fs import FileSystem, InMemoryFileSystem, LocalFileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
 from repro.mapreduce.pipeline import Pipeline, PipelineResult
-from repro.mapreduce.runner import run_job
+from repro.mapreduce.runner import (
+    EXECUTORS,
+    resolve_executor,
+    resolve_workers,
+    run_job,
+    shutdown_worker_pools,
+)
 from repro.mapreduce.shuffle import (
     HashPartitioner,
     Partitioner,
     RoundRobinKeyPartitioner,
+    stable_hash,
 )
 from repro.mapreduce.task import (
     IdentityMapper,
@@ -43,9 +52,14 @@ __all__ = [
     "Pipeline",
     "PipelineResult",
     "run_job",
+    "EXECUTORS",
+    "resolve_executor",
+    "resolve_workers",
+    "shutdown_worker_pools",
     "HashPartitioner",
     "Partitioner",
     "RoundRobinKeyPartitioner",
+    "stable_hash",
     "IdentityMapper",
     "MapContext",
     "Mapper",

@@ -73,6 +73,21 @@ class Counters:
                 gained[group] = diff
         return gained
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, int]]) -> "Counters":
+        """Rebuild counters from an :meth:`as_dict` snapshot.
+
+        Used to reconstitute per-task counters shipped back from worker
+        processes; zero-valued entries survive the round trip so merged
+        totals stay bit-identical to in-process execution.
+        """
+        counters = cls()
+        for group, names in data.items():
+            target = counters._groups[group]
+            for name, value in names.items():
+                target[name] += value
+        return counters
+
     def merge(self, other: "Counters") -> None:
         """Fold another counter set into this one."""
         for group, names in other._groups.items():

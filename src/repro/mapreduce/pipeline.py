@@ -64,16 +64,20 @@ class Pipeline:
     def __init__(
         self,
         fs: FileSystem,
-        executor: str = "serial",
+        executor: Optional[str] = None,
         observer: Optional["TraceRecorder"] = None,
         cost_model: Optional["CostModel"] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.fs = fs
+        #: executor name, or None to defer to $REPRO_EXECUTOR / "serial".
         self.executor = executor
         #: optional TraceRecorder forwarded to every job run.
         self.observer = observer
         #: cost model used only to charge recorded spans.
         self.cost_model = cost_model
+        #: worker count for the parallel executors (None: resolved per job).
+        self.workers = workers
         self.result = PipelineResult()
 
     def run(self, conf: JobConf) -> JobResult:
@@ -84,6 +88,7 @@ class Pipeline:
             executor=self.executor,
             observer=self.observer,
             cost_model=self.cost_model,
+            workers=self.workers,
         )
         self.result.jobs.append(job_result)
         return job_result

@@ -1,14 +1,28 @@
 """Job execution engines.
 
-:func:`run_job` executes one configured job against a file system.  Two
+:func:`run_job` executes one configured job against a file system.  Three
 executors are available:
 
 * ``"serial"`` — deterministic single-threaded execution (default; what
   tests and benchmarks use — parallelism is *simulated* by the cost model,
   which is how the paper's cluster numbers are reproduced in shape).
-* ``"threads"`` — reduce tasks run on a thread pool.  Useful for smoke-
-  testing that task code is self-contained; CPython's GIL means this is
-  about realism of the execution model, not speed.
+* ``"threads"`` — map AND reduce tasks run on a thread pool.  Useful for
+  smoke-testing that task code is self-contained; CPython's GIL means
+  this is about realism of the execution model, not speed.
+* ``"processes"`` — map AND reduce tasks run on a shared
+  :class:`~concurrent.futures.ProcessPoolExecutor` for true multi-core
+  execution.  Task payloads (records, mapper/combiner/reducer instances)
+  are pickled to the workers in chunks; each worker returns its output
+  plus a counter snapshot and wall-clock duration, and the parent merges
+  counters in task-submission order — so totals, outputs and recorded
+  span sets are bit-identical to ``serial`` (pinned by the executor
+  parity tests).  Worker-side object mutations (e.g. a stateful mapper)
+  are *not* shipped back.
+
+The executor may also be selected via the ``REPRO_EXECUTOR`` environment
+variable (an explicit ``executor=`` argument wins), and the worker count
+via ``REPRO_WORKERS`` — this is how CI runs the whole suite under the
+``processes`` backend.
 
 Execution follows Hadoop's lifecycle: per-input map tasks (setup, map each
 record, cleanup), optional per-map-task combiner, sort-shuffle, reduce
@@ -18,88 +32,173 @@ task writing one ``part-*`` file under the job's output path.
 When an :class:`~repro.obs.TraceRecorder` observer is passed, every job,
 phase (map / shuffle / reduce) and task is recorded as a span carrying
 counter deltas and — when a cost model is supplied — its modelled-seconds
-charge.  Reduce-task spans are recorded from the worker threads of the
-``threads`` executor by parenting them explicitly under the reduce-phase
-span, which the recorder handles thread-safely.  Observation is passive:
-with ``observer=None`` the execution path, results and counters are
-identical to an unobserved run.
+charge.  Task spans from the ``threads`` executor are recorded live on
+the worker threads (parented explicitly under the phase span); the
+``processes`` executor ships lightweight ``(duration, counters)`` task
+records back and the parent materialises the spans via
+:meth:`~repro.obs.TraceRecorder.record_completed`.  Observation is
+passive: with ``observer=None`` the execution path, results and counters
+are identical to an unobserved run.
 """
 
 from __future__ import annotations
 
+import math
+import os
+import threading
+import time
 from collections import defaultdict
-from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import MapReduceError
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
 from repro.mapreduce.shuffle import shuffle
-from repro.mapreduce.task import MapContext, ReduceContext, Reducer
+from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.cost import CostModel
     from repro.obs.recorder import TraceRecorder
     from repro.obs.span import Span
 
-__all__ = ["run_job"]
+__all__ = [
+    "run_job",
+    "EXECUTORS",
+    "resolve_executor",
+    "resolve_workers",
+    "shutdown_worker_pools",
+]
+
+#: The recognised execution backends.
+EXECUTORS = ("serial", "threads", "processes")
+
+#: Environment variables consulted when ``executor``/``workers`` are not
+#: given explicitly (how CI forces a whole test run onto one backend).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Default worker-count ceiling — beyond this, per-task pickling overhead
+#: dominates on the workloads the simulator runs.
+_DEFAULT_WORKERS_CAP = 8
 
 
-def _run_map_task(
-    fs: FileSystem, spec: InputSpec, conf: JobConf, counters: Counters
-) -> List[Tuple[Hashable, Any]]:
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """The effective executor name: explicit argument, else
+    ``$REPRO_EXECUTOR``, else ``"serial"``.  Unknown names raise."""
+    name = executor or os.environ.get(EXECUTOR_ENV, "").strip() or "serial"
+    if name not in EXECUTORS:
+        raise MapReduceError(
+            f"unknown executor {name!r}; expected one of {EXECUTORS}"
+        )
+    return name
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit argument, else
+    ``$REPRO_WORKERS``, else ``min(cpu_count, 8)``.  Must be >= 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise MapReduceError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = min(os.cpu_count() or 1, _DEFAULT_WORKERS_CAP)
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise MapReduceError(
+            f"workers must be a positive integer, got {workers!r}"
+        )
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Worker-process pool.  One shared pool per worker count, reused across
+# jobs (and across a whole pipeline / test session) so process start-up
+# is amortised.  All pool interaction happens on the parent; workers
+# only ever run the module-level ``_process_*_task`` functions, which
+# keeps the backend safe under both fork and spawn start methods.
+# ----------------------------------------------------------------------
+
+_pools_lock = threading.Lock()
+_pools: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    with _pools_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _pools[workers] = pool
+        return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every cached worker pool (fresh pools are created on
+    demand afterwards).  Mostly useful for embedders and tests."""
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _pool_map(
+    fn: Callable[[Any], Any], payloads: Sequence[Any], workers: int
+) -> List[Any]:
+    """Dispatch payloads to the worker pool in chunks, preserving order."""
+    pool = _process_pool(workers)
+    chunksize = max(1, math.ceil(len(payloads) / (workers * 4)))
+    try:
+        return list(pool.map(fn, payloads, chunksize=chunksize))
+    except BrokenProcessPool as exc:
+        with _pools_lock:
+            _pools.pop(workers, None)
+        pool.shutdown(wait=False)
+        raise MapReduceError(f"worker pool crashed: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Task bodies.  Each task runs against a *fresh* Counters instance so the
+# same code executes identically in-process and in a worker process; the
+# parent merges per-task counters in task-submission order, which makes
+# totals independent of the executor.
+# ----------------------------------------------------------------------
+
+def _map_task_core(
+    path: str,
+    records: Sequence[Any],
+    mapper: Mapper,
+    combiner: Optional[Reducer],
+) -> Tuple[List[Tuple[Hashable, Any]], Counters]:
     """Run one map task (one input spec), combiner included."""
-    context = MapContext(counters, spec.path)
-    spec.mapper.setup(context)
-    for record in fs.read_dir(spec.path):
+    counters = Counters()
+    context = MapContext(counters, path)
+    mapper.setup(context)
+    for record in records:
         counters.increment("framework", "map_input_records")
-        spec.mapper.map(record, context)
-    spec.mapper.cleanup(context)
+        mapper.map(record, context)
+    mapper.cleanup(context)
     task_pairs = context.drain()
     counters.increment("framework", "map_output_records", len(task_pairs))
-    if conf.combiner is not None:
-        task_pairs = _run_combiner(conf.combiner, task_pairs, counters)
-    return task_pairs
-
-
-def _run_map_phase(
-    fs: FileSystem,
-    conf: JobConf,
-    counters: Counters,
-    observer: Optional["TraceRecorder"] = None,
-    cost_model: Optional["CostModel"] = None,
-) -> List[Tuple[Hashable, Any]]:
-    """Run all map tasks; returns the intermediate pair stream."""
-    pairs: List[Tuple[Hashable, Any]] = []
-    if observer is None:
-        for spec in conf.inputs:
-            pairs.extend(_run_map_task(fs, spec, conf, counters))
-        return pairs
-    with observer.span("map", kind="phase", job=conf.name):
-        for index, spec in enumerate(conf.inputs):
-            before = counters.snapshot()
-            with observer.span(
-                f"map:{spec.path}",
-                kind="task",
-                job=conf.name,
-                phase="map",
-                task_index=index,
-            ) as span:
-                task_pairs = _run_map_task(fs, spec, conf, counters)
-                pairs.extend(task_pairs)
-                span.counters = counters.delta(before)
-                span.annotate(output_pairs=len(task_pairs))
-                if cost_model is not None:
-                    reads = span.counters.get("framework", {}).get(
-                        "map_input_records", 0
-                    )
-                    span.annotate(
-                        modelled_seconds=reads
-                        * cost_model.read_cost
-                        / cost_model.parallelism
-                    )
-    return pairs
+    if combiner is not None:
+        task_pairs = _run_combiner(combiner, task_pairs, counters)
+    return task_pairs, counters
 
 
 def _run_combiner(
@@ -127,24 +226,101 @@ def _run_combiner(
 
 
 def _reduce_task_core(
-    conf: JobConf,
+    reducer: Reducer,
     task_index: int,
     groups: List[Tuple[Hashable, List[Any]]],
 ) -> Tuple[List[Any], Counters]:
     """The untraced body of one physical reduce task."""
     counters = Counters()
+    # Zero-initialise so even an empty task reports its input counters
+    # (key routing decides which tasks receive groups at all).
+    counters.increment("framework", "reduce_input_groups", 0)
+    counters.increment("framework", "reduce_input_records", 0)
     context = ReduceContext(counters, task_index)
-    conf.reducer.setup(context)
+    reducer.setup(context)
     output: List[Any] = []
     for key, values in groups:
         counters.increment("framework", "reduce_input_groups")
         counters.increment("framework", "reduce_input_records", len(values))
-        conf.reducer.reduce(key, values, context)
+        reducer.reduce(key, values, context)
         output.extend(context.drain())
-    conf.reducer.cleanup(context)
+    reducer.cleanup(context)
     output.extend(context.drain())
     counters.increment("framework", "reduce_output_records", len(output))
     return output, counters
+
+
+# ----------------------------------------------------------------------
+# Span annotation helpers (shared by all executors so recorded spans are
+# identical regardless of where the task ran).
+# ----------------------------------------------------------------------
+
+def _map_span_attrs(
+    task_counters: Counters,
+    task_pairs: Sequence[Any],
+    cost_model: Optional["CostModel"],
+) -> Dict[str, Any]:
+    attrs: Dict[str, Any] = {"output_pairs": len(task_pairs)}
+    if cost_model is not None:
+        reads = task_counters.value("framework", "map_input_records")
+        attrs["modelled_seconds"] = (
+            reads * cost_model.read_cost / cost_model.parallelism
+        )
+    return attrs
+
+
+def _reduce_span_attrs(
+    task_counters: Counters,
+    output: Sequence[Any],
+    cost_model: Optional["CostModel"],
+) -> Dict[str, Any]:
+    load = task_counters.value("framework", "reduce_input_records")
+    attrs: Dict[str, Any] = {
+        "input_records": load,
+        "output_records": len(output),
+    }
+    if cost_model is not None:
+        attrs["modelled_seconds"] = (
+            load * cost_model.shuffle_cost
+            + task_counters.value("work", "comparisons")
+            * cost_model.comparison_cost
+            + len(output) * cost_model.output_cost
+        )
+    return attrs
+
+
+# ----------------------------------------------------------------------
+# In-process task wrappers (serial + threads): the span is recorded live
+# around the task body, parented explicitly so worker threads attach to
+# the right phase span.
+# ----------------------------------------------------------------------
+
+def _run_map_task_traced(
+    spec: InputSpec,
+    index: int,
+    records: Sequence[Any],
+    combiner: Optional[Reducer],
+    job_name: str,
+    observer: Optional["TraceRecorder"],
+    parent: Optional["Span"],
+    cost_model: Optional["CostModel"],
+) -> Tuple[List[Tuple[Hashable, Any]], Counters]:
+    if observer is None:
+        return _map_task_core(spec.path, records, spec.mapper, combiner)
+    with observer.span(
+        f"map:{spec.path}",
+        kind="task",
+        parent=parent,
+        job=job_name,
+        phase="map",
+        task_index=index,
+    ) as span:
+        task_pairs, task_counters = _map_task_core(
+            spec.path, records, spec.mapper, combiner
+        )
+        span.counters = task_counters.delta({})
+        span.annotate(**_map_span_attrs(task_counters, task_pairs, cost_model))
+        return task_pairs, task_counters
 
 
 def _run_reduce_task(
@@ -162,7 +338,7 @@ def _run_reduce_task(
     runs on a ``threads``-executor worker thread.
     """
     if observer is None:
-        return _reduce_task_core(conf, task_index, groups)
+        return _reduce_task_core(conf.reducer, task_index, groups)
     with observer.span(
         f"reduce[{task_index}]",
         kind="task",
@@ -171,26 +347,183 @@ def _run_reduce_task(
         phase="reduce",
         task_index=task_index,
     ) as span:
-        output, counters = _reduce_task_core(conf, task_index, groups)
+        output, counters = _reduce_task_core(conf.reducer, task_index, groups)
         span.counters = counters.snapshot()
-        load = counters.value("framework", "reduce_input_records")
-        span.annotate(input_records=load, output_records=len(output))
-        if cost_model is not None:
-            span.annotate(
-                modelled_seconds=load * cost_model.shuffle_cost
-                + counters.value("work", "comparisons")
-                * cost_model.comparison_cost
-                + len(output) * cost_model.output_cost
-            )
+        span.annotate(**_reduce_span_attrs(counters, output, cost_model))
         return output, counters
+
+
+# ----------------------------------------------------------------------
+# Process-pool task entry points.  Module-level so they pickle by
+# reference under spawn; they return ``(output, counters_dict, seconds)``
+# records the parent folds back in.
+# ----------------------------------------------------------------------
+
+def _process_map_task(
+    payload: Tuple[str, Sequence[Any], Mapper, Optional[Reducer]],
+) -> Tuple[List[Tuple[Hashable, Any]], Dict[str, Dict[str, int]], float]:
+    path, records, mapper, combiner = payload
+    started = time.perf_counter()
+    task_pairs, task_counters = _map_task_core(path, records, mapper, combiner)
+    return task_pairs, task_counters.as_dict(), time.perf_counter() - started
+
+
+def _process_reduce_task(
+    payload: Tuple[Reducer, int, List[Tuple[Hashable, List[Any]]]],
+) -> Tuple[List[Any], Dict[str, Dict[str, int]], float]:
+    reducer, task_index, groups = payload
+    started = time.perf_counter()
+    output, task_counters = _reduce_task_core(reducer, task_index, groups)
+    return output, task_counters.as_dict(), time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Phase drivers.
+# ----------------------------------------------------------------------
+
+def _run_map_tasks_processes(
+    conf: JobConf,
+    tasks: Sequence[Tuple[int, InputSpec, List[Any]]],
+    observer: Optional["TraceRecorder"],
+    phase_span: Optional["Span"],
+    cost_model: Optional["CostModel"],
+    workers: int,
+) -> List[Tuple[List[Tuple[Hashable, Any]], Counters]]:
+    payloads = [
+        (spec.path, records, spec.mapper, conf.combiner)
+        for _, spec, records in tasks
+    ]
+    shipped = _pool_map(_process_map_task, payloads, workers)
+    results = []
+    for (index, spec, _), (task_pairs, counter_dict, elapsed) in zip(
+        tasks, shipped
+    ):
+        task_counters = Counters.from_dict(counter_dict)
+        if observer is not None:
+            observer.record_completed(
+                f"map:{spec.path}",
+                kind="task",
+                parent=phase_span,
+                duration=elapsed,
+                counters=task_counters.delta({}),
+                job=conf.name,
+                phase="map",
+                task_index=index,
+                **_map_span_attrs(task_counters, task_pairs, cost_model),
+            )
+        results.append((task_pairs, task_counters))
+    return results
+
+
+def _run_reduce_tasks_processes(
+    conf: JobConf,
+    tasks: Sequence[List[Tuple[Hashable, List[Any]]]],
+    observer: Optional["TraceRecorder"],
+    phase_span: Optional["Span"],
+    cost_model: Optional["CostModel"],
+    workers: int,
+) -> List[Tuple[List[Any], Counters]]:
+    payloads = [
+        (conf.reducer, index, groups) for index, groups in enumerate(tasks)
+    ]
+    shipped = _pool_map(_process_reduce_task, payloads, workers)
+    results = []
+    for index, (output, counter_dict, elapsed) in enumerate(shipped):
+        task_counters = Counters.from_dict(counter_dict)
+        if observer is not None:
+            observer.record_completed(
+                f"reduce[{index}]",
+                kind="task",
+                parent=phase_span,
+                duration=elapsed,
+                counters=task_counters.snapshot(),
+                job=conf.name,
+                phase="reduce",
+                task_index=index,
+                **_reduce_span_attrs(task_counters, output, cost_model),
+            )
+        results.append((output, task_counters))
+    return results
+
+
+def _run_map_phase(
+    fs: FileSystem,
+    conf: JobConf,
+    counters: Counters,
+    observer: Optional["TraceRecorder"],
+    cost_model: Optional["CostModel"],
+    executor: str,
+    workers: int,
+) -> List[Tuple[Hashable, Any]]:
+    """Run all map tasks; returns the intermediate pair stream.
+
+    Per-task counters merge (and pairs concatenate) in input-spec order
+    under every executor, so the stream and the totals are identical
+    whether tasks ran serially, on threads, or in worker processes.
+    """
+    pairs: List[Tuple[Hashable, Any]] = []
+    if executor == "serial":
+        if observer is None:
+            for spec in conf.inputs:
+                task_pairs, task_counters = _map_task_core(
+                    spec.path, fs.read_dir(spec.path), spec.mapper, conf.combiner
+                )
+                counters.merge(task_counters)
+                pairs.extend(task_pairs)
+            return pairs
+        with observer.span("map", kind="phase", job=conf.name) as phase_span:
+            for index, spec in enumerate(conf.inputs):
+                task_pairs, task_counters = _run_map_task_traced(
+                    spec, index, fs.read_dir(spec.path), conf.combiner,
+                    conf.name, observer, phase_span, cost_model,
+                )
+                counters.merge(task_counters)
+                pairs.extend(task_pairs)
+        return pairs
+
+    # Parallel executors materialise each input up front: records must be
+    # shippable to workers, and file-system access stays on the parent.
+    tasks = [
+        (index, spec, list(fs.read_dir(spec.path)))
+        for index, spec in enumerate(conf.inputs)
+    ]
+    phase_span = (
+        observer.start_span("map", kind="phase", job=conf.name)
+        if observer is not None
+        else None
+    )
+    try:
+        if executor == "threads":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_map_task_traced,
+                        spec, index, records, conf.combiner,
+                        conf.name, observer, phase_span, cost_model,
+                    )
+                    for index, spec, records in tasks
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = _run_map_tasks_processes(
+                conf, tasks, observer, phase_span, cost_model, workers
+            )
+        for task_pairs, task_counters in results:
+            counters.merge(task_counters)
+            pairs.extend(task_pairs)
+    finally:
+        if observer is not None and phase_span is not None:
+            observer.end_span(phase_span)
+    return pairs
 
 
 def run_job(
     fs: FileSystem,
     conf: JobConf,
-    executor: str = "serial",
+    executor: Optional[str] = None,
     observer: Optional["TraceRecorder"] = None,
     cost_model: Optional["CostModel"] = None,
+    workers: Optional[int] = None,
 ) -> JobResult:
     """Execute one MapReduce job and return its measurements.
 
@@ -201,7 +534,9 @@ def run_job(
     conf:
         The job configuration.
     executor:
-        ``"serial"`` or ``"threads"``.
+        ``"serial"``, ``"threads"`` or ``"processes"``; ``None`` defers to
+        ``$REPRO_EXECUTOR`` and then ``"serial"``.  All three produce
+        bit-identical outputs and counters.
     observer:
         Optional :class:`~repro.obs.TraceRecorder`; when given, the job,
         its phases and its tasks are recorded as spans and the
@@ -210,7 +545,12 @@ def run_job(
         Optional :class:`~repro.mapreduce.cost.CostModel` used only to
         attach modelled-seconds charges to the recorded spans (never
         affects execution).
+    workers:
+        Worker count for the parallel executors; ``None`` defers to
+        ``$REPRO_WORKERS`` and then ``min(cpu_count, 8)``.
     """
+    executor = resolve_executor(executor)
+    workers = resolve_workers(workers)
     if conf.num_reduce_tasks < 1:
         raise MapReduceError("a job needs at least one reduce task")
     if not conf.inputs:
@@ -229,7 +569,9 @@ def run_job(
         else None
     )
     try:
-        pairs = _run_map_phase(fs, conf, counters, observer, cost_model)
+        pairs = _run_map_phase(
+            fs, conf, counters, observer, cost_model, executor, workers
+        )
         counters.increment("framework", "shuffle_records", len(pairs))
 
         logical_loads: Dict[Hashable, int] = defaultdict(int)
@@ -270,7 +612,7 @@ def run_job(
                     for index, groups in enumerate(tasks)
                 ]
             elif executor == "threads":
-                with ThreadPoolExecutor() as pool:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
                     futures = [
                         pool.submit(
                             _run_reduce_task,
@@ -285,7 +627,9 @@ def run_job(
                     ]
                     results = [future.result() for future in futures]
             else:
-                raise MapReduceError(f"unknown executor {executor!r}")
+                results = _run_reduce_tasks_processes(
+                    conf, tasks, observer, reduce_span, cost_model, workers
+                )
         finally:
             if observer is not None and reduce_span is not None:
                 observer.end_span(reduce_span)

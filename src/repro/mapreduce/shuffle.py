@@ -8,14 +8,25 @@ reducers may share one physical reduce task, which is exactly how a
 fixed-size Hadoop cluster executes an ``o^m``-cell reducer grid.
 
 Partitioners are pluggable.  :class:`HashPartitioner` reproduces Hadoop's
-default.  :class:`RoundRobinKeyPartitioner` assigns distinct keys to tasks
-in sorted-key round-robin order, which gives deterministic, maximally even
+default — but over a *stable* hash (CRC-32 of the key's canonical
+representation) rather than Python's builtin ``hash()``, which is salted
+per interpreter and would route the same key differently across runs and
+between a parent and its ``spawn``-started workers.
+:class:`RoundRobinKeyPartitioner` assigns distinct keys to tasks in
+sorted-key round-robin order, which gives deterministic, maximally even
 key spreading for benchmarks.
+
+Keys are ordered by their ``repr`` throughout (the only total order
+available over mixed key types).  Each ``repr`` is computed once per
+distinct key via a decorate-sort — on grid workloads with 100k+ distinct
+keys the repeated ``repr`` calls of a naive ``sorted(keys, key=repr)``
+per consumer dominate the shuffle (see ``benchmarks/bench_shuffle_sort``).
 """
 
 from __future__ import annotations
 
 import abc
+import zlib
 from collections import defaultdict
 from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
 
@@ -23,8 +34,31 @@ __all__ = [
     "Partitioner",
     "HashPartitioner",
     "RoundRobinKeyPartitioner",
+    "stable_hash",
     "shuffle",
 ]
+
+
+def stable_hash(key: Hashable) -> int:
+    """A process-stable, unsalted 32-bit hash of a key.
+
+    CRC-32 over the UTF-8 encoded ``repr`` — the same canonical encoding
+    the shuffle sorts by.  Identical across interpreter runs and across
+    parent/worker process boundaries, unlike the salted builtin ``hash``.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def _sorted_by_repr(keys: Iterable[Hashable]) -> List[Tuple[str, Hashable]]:
+    """Decorate-sort: ``(repr, key)`` pairs in repr order, one ``repr``
+    call per key.  Implemented as a stable argsort over the precomputed
+    reprs — comparisons stay plain string compares (no tuple overhead)
+    and repr ties keep enumeration order, so keys never need to be
+    comparable themselves."""
+    materialized = list(keys)
+    reprs = [repr(key) for key in materialized]
+    order = sorted(range(len(materialized)), key=reprs.__getitem__)
+    return [(reprs[i], materialized[i]) for i in order]
 
 
 class Partitioner(abc.ABC):
@@ -34,16 +68,24 @@ class Partitioner(abc.ABC):
         """Optional hook receiving the distinct key set before routing
         (lets stateful partitioners build a key->task table)."""
 
+    def prepare_sorted(self, ordered: Sequence[Tuple[str, Hashable]]) -> None:
+        """Like :meth:`prepare`, but receiving the distinct keys already
+        repr-sorted as ``(repr, key)`` pairs.  The shuffle calls this so
+        stateful partitioners can reuse its sort instead of redoing it;
+        the default simply delegates to :meth:`prepare`."""
+        self.prepare([key for _, key in ordered])
+
     @abc.abstractmethod
     def partition(self, key: Hashable, num_tasks: int) -> int:
         """The reduce task (``0 <= result < num_tasks``) owning ``key``."""
 
 
 class HashPartitioner(Partitioner):
-    """Hadoop's default: ``hash(key) mod num_tasks``."""
+    """Hadoop's default routing, over a stable hash:
+    ``stable_hash(key) mod num_tasks``."""
 
     def partition(self, key: Hashable, num_tasks: int) -> int:
-        return hash(key) % num_tasks
+        return stable_hash(key) % num_tasks
 
 
 class RoundRobinKeyPartitioner(Partitioner):
@@ -58,9 +100,10 @@ class RoundRobinKeyPartitioner(Partitioner):
         self._table: Dict[Hashable, int] = {}
 
     def prepare(self, keys: Sequence[Hashable]) -> None:
-        self._table = {
-            key: index for index, key in enumerate(sorted(keys, key=repr))
-        }
+        self.prepare_sorted(_sorted_by_repr(keys))
+
+    def prepare_sorted(self, ordered: Sequence[Tuple[str, Hashable]]) -> None:
+        self._table = {key: index for index, (_, key) in enumerate(ordered)}
 
     def partition(self, key: Hashable, num_tasks: int) -> int:
         return self._table.get(key, 0) % num_tasks
@@ -75,14 +118,16 @@ def shuffle(
 
     Returns one list of ``(key, values)`` groups per reduce task, with
     groups sorted by key representation within each task (Hadoop's sorted
-    reduce input order).
+    reduce input order).  The repr-sort runs once and is shared with the
+    partitioner via :meth:`Partitioner.prepare_sorted`.
     """
     grouped: Dict[Hashable, List[Any]] = defaultdict(list)
     for key, value in pairs:
         grouped[key].append(value)
-    partitioner.prepare(list(grouped.keys()))
+    ordered = _sorted_by_repr(grouped.keys())
+    partitioner.prepare_sorted(ordered)
     tasks: List[List[Tuple[Hashable, List[Any]]]] = [[] for _ in range(num_tasks)]
-    for key in sorted(grouped.keys(), key=repr):
+    for _, key in ordered:
         index = partitioner.partition(key, num_tasks)
         if not 0 <= index < num_tasks:
             raise ValueError(

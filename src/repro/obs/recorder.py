@@ -115,6 +115,51 @@ class TraceRecorder:
         stack.append(span)
         return span
 
+    def record_completed(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Optional[Span] = None,
+        duration: float = 0.0,
+        counters: Optional[dict] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record an already-finished span in one call.
+
+        Used for task spans executed in *worker processes*: the worker
+        ships back a lightweight ``(duration, counters, attributes)``
+        record and the parent materialises the span here, backdating
+        ``start`` by the measured duration.  The span never enters the
+        thread-local stack (it was not open on this thread), and sinks
+        receive it fully annotated.
+        """
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        now = self._now()
+        with self._lock:
+            self._next_id += 1
+            span = Span(
+                name=name,
+                kind=kind,
+                span_id=self._next_id,
+                parent_id=parent.span_id if parent is not None else None,
+                start=max(0.0, now - duration),
+                thread_id=threading.get_ident(),
+                attributes=dict(attributes),
+            )
+            span.end = now
+            if counters:
+                span.counters = counters
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+            self.spans.append(span)
+            for sink in self._sinks:
+                sink.emit(span)
+        return span
+
     def end_span(self, span: Span) -> None:
         """Close a span opened with :meth:`start_span`."""
         span.end = self._now()

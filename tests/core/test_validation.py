@@ -14,11 +14,20 @@ from repro.core.validation import (
     validate_result,
 )
 from repro.intervals.interval import Interval
+from repro.mapreduce.task import Reducer
 
 
 Q = IntervalJoinQuery.parse(
     [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
 )
+
+
+class CountReducer(Reducer):
+    """Module-level so the ``processes`` executor can pickle it."""
+
+    def reduce(self, key, values, ctx):
+        ctx.counters.increment("work", "comparisons", len(values))
+        ctx.emit((key, len(values)))
 
 
 def run(data, algorithm="rccis"):
@@ -108,12 +117,7 @@ class TestJobHistory:
         from repro.mapreduce.fs import InMemoryFileSystem
         from repro.mapreduce.job import InputSpec, JobConf
         from repro.mapreduce.runner import run_job
-        from repro.mapreduce.task import IdentityMapper, Reducer
-
-        class CountReducer(Reducer):
-            def reduce(self, key, values, ctx):
-                ctx.counters.increment("work", "comparisons", len(values))
-                ctx.emit((key, len(values)))
+        from repro.mapreduce.task import IdentityMapper
 
         fs = InMemoryFileSystem()
         fs.write("in", list(range(10)))

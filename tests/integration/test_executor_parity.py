@@ -1,9 +1,9 @@
-"""Executor parity: ``threads`` must equal ``serial`` exactly.
+"""Executor parity: ``threads`` and ``processes`` must equal ``serial``.
 
-The thread-pool reduce executor exists to prove task code is
-self-contained; these tests pin the contract — identical output tuples,
-identical counters, and (with an observer attached) the identical span
-set, on both a hybrid and a sequence query.
+The parallel executors exist to prove task code is self-contained; these
+tests pin the contract — identical output tuples, identical counters,
+and (with an observer attached) the identical span set — for every one
+of the paper's ten algorithms under both parallel backends.
 """
 
 from __future__ import annotations
@@ -16,19 +16,40 @@ from repro.obs import TraceRecorder
 
 from tests.conftest import make_dataset
 
-HYBRID_QUERY = IntervalJoinQuery.parse(
+COLOCATION = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+)
+SEQUENCE = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R2", "before", "R3")]
+)
+HYBRID = IntervalJoinQuery.parse(
     [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
 )
-SEQUENCE_QUERY = IntervalJoinQuery.parse([("R1", "before", "R2")])
+
+CASES = [
+    ("two_way", IntervalJoinQuery.parse([("R1", "overlaps", "R2")]),
+     ("R1", "R2")),
+    ("rccis", COLOCATION, ("R1", "R2", "R3")),
+    ("all_replicate", SEQUENCE, ("R1", "R2", "R3")),
+    ("all_matrix", SEQUENCE, ("R1", "R2", "R3")),
+    ("two_way_cascade", SEQUENCE, ("R1", "R2", "R3")),
+    ("all_seq_matrix", HYBRID, ("R1", "R2", "R3")),
+    ("pasm", HYBRID, ("R1", "R2", "R3")),
+    ("gen_matrix", HYBRID, ("R1", "R2", "R3")),
+    ("fcts", HYBRID, ("R1", "R2", "R3")),
+    ("fstc", HYBRID, ("R1", "R2", "R3")),
+]
 
 
-def _run(query, data, executor):
+def _run(algorithm, query, data, executor):
     recorder = TraceRecorder()
     result = execute(
         query,
         data,
-        num_partitions=6,
+        algorithm=algorithm,
+        num_partitions=5,
         executor=executor,
+        workers=2,
         observer=recorder,
     )
     return result, recorder
@@ -47,35 +68,27 @@ def _span_profile(recorder):
     )
 
 
-@pytest.mark.parametrize(
-    "query,names",
-    [
-        (HYBRID_QUERY, ("R1", "R2", "R3")),
-        (SEQUENCE_QUERY, ("R1", "R2")),
-    ],
-    ids=["hybrid", "sequence"],
-)
-def test_threads_matches_serial(query, names):
-    data = make_dataset(names, 80, seed=7)
-    serial_result, serial_rec = _run(query, data, "serial")
-    threads_result, threads_rec = _run(query, data, "threads")
+def _assert_parity(serial_pack, parallel_pack):
+    serial_result, serial_rec = serial_pack
+    parallel_result, parallel_rec = parallel_pack
 
     # same tuples
-    assert serial_result.tuple_ids() == threads_result.tuple_ids()
+    assert serial_result.tuple_ids() == parallel_result.tuple_ids()
     assert len(serial_result) > 0
 
     # same counters, job by job
-    assert len(serial_rec.job_results) == len(threads_rec.job_results)
-    for serial_job, threads_job in zip(
-        serial_rec.job_results, threads_rec.job_results
+    assert len(serial_rec.job_results) == len(parallel_rec.job_results)
+    for serial_job, parallel_job in zip(
+        serial_rec.job_results, parallel_rec.job_results
     ):
-        assert serial_job.name == threads_job.name
+        assert serial_job.name == parallel_job.name
         assert (
-            serial_job.counters.as_dict() == threads_job.counters.as_dict()
+            serial_job.counters.as_dict() == parallel_job.counters.as_dict()
         )
-        assert serial_job.reduce_task_loads == threads_job.reduce_task_loads
+        assert serial_job.reduce_task_loads == parallel_job.reduce_task_loads
         assert (
-            serial_job.reduce_task_outputs == threads_job.reduce_task_outputs
+            serial_job.reduce_task_outputs
+            == parallel_job.reduce_task_outputs
         )
 
     # same metric totals
@@ -87,8 +100,38 @@ def test_threads_matches_serial(query, names):
         "output_records",
     ):
         assert getattr(serial_result.metrics, field) == getattr(
-            threads_result.metrics, field
+            parallel_result.metrics, field
         ), field
 
     # same trace span set (names, kinds, job/task attribution)
-    assert _span_profile(serial_rec) == _span_profile(threads_rec)
+    assert _span_profile(serial_rec) == _span_profile(parallel_rec)
+
+
+@pytest.mark.parametrize("executor", ["threads", "processes"])
+@pytest.mark.parametrize(
+    "algorithm,query,names", CASES, ids=[case[0] for case in CASES]
+)
+def test_parallel_matches_serial(algorithm, query, names, executor):
+    data = make_dataset(names, 60, seed=11)
+    serial_pack = _run(algorithm, query, data, "serial")
+    parallel_pack = _run(algorithm, query, data, executor)
+    _assert_parity(serial_pack, parallel_pack)
+
+
+def test_planner_choice_parity_threads():
+    """Parity also holds when the planner picks the algorithm."""
+    query = IntervalJoinQuery.parse(
+        [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+    )
+    data = make_dataset(("R1", "R2", "R3"), 80, seed=7)
+    recorder_serial = TraceRecorder()
+    serial = execute(
+        query, data, num_partitions=6, executor="serial",
+        observer=recorder_serial,
+    )
+    recorder_threads = TraceRecorder()
+    threads = execute(
+        query, data, num_partitions=6, executor="threads",
+        observer=recorder_threads,
+    )
+    _assert_parity((serial, recorder_serial), (threads, recorder_threads))

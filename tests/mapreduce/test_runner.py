@@ -1,12 +1,19 @@
-"""Unit tests for job execution (the classic word-count, plus lifecycle
-and counter semantics)."""
+"""Unit tests for job execution (the classic word-count, plus lifecycle,
+counter semantics, and executor/worker resolution)."""
 
 import pytest
 
 from repro.errors import MapReduceError
 from repro.mapreduce.fs import InMemoryFileSystem
 from repro.mapreduce.job import InputSpec, JobConf
-from repro.mapreduce.runner import run_job
+from repro.mapreduce.runner import (
+    EXECUTOR_ENV,
+    EXECUTORS,
+    WORKERS_ENV,
+    resolve_executor,
+    resolve_workers,
+    run_job,
+)
 from repro.mapreduce.task import Mapper, Reducer
 
 
@@ -109,6 +116,22 @@ class TestWordCount:
             fs.read_dir("out-threads")
         )
 
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_parallel_executor_bit_identical(self, fs, executor):
+        serial = run_job(fs, word_count_conf(fs, output="out-serial"))
+        parallel = run_job(
+            fs,
+            word_count_conf(fs, output=f"out-{executor}"),
+            executor=executor,
+            workers=2,
+        )
+        assert sorted(fs.read_dir("out-serial")) == sorted(
+            fs.read_dir(f"out-{executor}")
+        )
+        assert serial.counters.as_dict() == parallel.counters.as_dict()
+        assert serial.reduce_task_loads == parallel.reduce_task_loads
+        assert serial.reduce_task_outputs == parallel.reduce_task_outputs
+
     def test_unknown_executor(self, fs):
         with pytest.raises(MapReduceError):
             run_job(fs, word_count_conf(fs), executor="gpu")
@@ -148,8 +171,27 @@ class TestLifecycle:
             output="out",
             num_reduce_tasks=1,
         )
-        run_job(fs, conf)
+        # Pinned to serial: the assertion watches parent-side mutation of
+        # the mapper instance, which a process worker cannot perform.
+        run_job(fs, conf, executor="serial")
         assert mapper.events == ["setup", "map", "map", "cleanup"]
+
+    def test_multiple_inputs_under_processes(self):
+        fs = InMemoryFileSystem()
+        fs.write("in/a", ["x y"])
+        fs.write("in/b", ["y z"])
+        conf = JobConf(
+            name="multi",
+            inputs=[
+                InputSpec("in/a", TokenizeMapper()),
+                InputSpec("in/b", TokenizeMapper()),
+            ],
+            reducer=SumReducer(),
+            output="out",
+            num_reduce_tasks=2,
+        )
+        run_job(fs, conf, executor="processes", workers=2)
+        assert dict(fs.read_dir("out")) == {"x": 1, "y": 2, "z": 1}
 
     def test_multiple_inputs_each_get_own_mapper_run(self):
         fs = InMemoryFileSystem()
@@ -167,3 +209,53 @@ class TestLifecycle:
         )
         run_job(fs, conf)
         assert dict(fs.read_dir("out")) == {"x": 1, "y": 2, "z": 1}
+
+
+class TestResolution:
+    def test_executor_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert resolve_executor(None) == "serial"
+
+    def test_executor_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "threads")
+        assert resolve_executor(None) == "threads"
+        # An explicit argument always wins over the environment.
+        assert resolve_executor("processes") == "processes"
+
+    def test_executor_names(self):
+        assert EXECUTORS == ("serial", "threads", "processes")
+        for name in EXECUTORS:
+            assert resolve_executor(name) == name
+
+    def test_unknown_executor_rejected(self, monkeypatch):
+        with pytest.raises(MapReduceError):
+            resolve_executor("gpu")
+        monkeypatch.setenv(EXECUTOR_ENV, "quantum")
+        with pytest.raises(MapReduceError):
+            resolve_executor(None)
+
+    def test_workers_default_positive(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_workers_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(5) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "two", True])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(MapReduceError):
+            resolve_workers(bad)
+
+    def test_invalid_workers_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "zero")
+        with pytest.raises(MapReduceError):
+            resolve_workers(None)
+
+    def test_run_job_rejects_bad_workers(self, monkeypatch):
+        fs = InMemoryFileSystem()
+        fs.write("in/doc", ["a b"])
+        conf = word_count_conf(fs)
+        with pytest.raises(MapReduceError):
+            run_job(fs, conf, executor="threads", workers=0)

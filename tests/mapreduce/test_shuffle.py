@@ -1,11 +1,17 @@
 """Unit tests for the sort-shuffle and partitioners."""
 
+import pathlib
+import subprocess
+import sys
+import zlib
+
 import pytest
 
 from repro.mapreduce.shuffle import (
     HashPartitioner,
     RoundRobinKeyPartitioner,
     shuffle,
+    stable_hash,
 )
 
 
@@ -54,6 +60,53 @@ class TestShuffle:
 
         with pytest.raises(ValueError):
             shuffle([("a", 1)], 2, Bad())
+
+
+class TestStableHash:
+    def test_is_crc32_of_repr(self):
+        for key in ["word", 17, (0, 1), ("R1", 4), None, 2.5]:
+            expected = zlib.crc32(repr(key).encode("utf-8"))
+            assert stable_hash(key) == expected
+
+    def test_stable_across_interpreters(self):
+        """Unlike ``hash(str)``, the value must not depend on the
+        per-process ``PYTHONHASHSEED`` randomisation."""
+        code = (
+            "from repro.mapreduce.shuffle import stable_hash;"
+            "print(stable_hash(('R1', 42)), stable_hash('fox'))"
+        )
+        outputs = set()
+        for seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONPATH": str(
+                        pathlib.Path(__file__).resolve().parents[2] / "src"
+                    ),
+                    "PYTHONHASHSEED": seed,
+                },
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+        assert outputs.pop() == (
+            f"{stable_hash(('R1', 42))} {stable_hash('fox')}"
+        )
+
+    def test_partition_uses_stable_hash(self):
+        partitioner = HashPartitioner()
+        for key in ["a", (3, "b"), 99]:
+            assert partitioner.partition(key, 7) == stable_hash(key) % 7
+
+    def test_uncomparable_keys_shuffle(self):
+        """Mixed-type keys sort by repr, so they need not be mutually
+        comparable."""
+        pairs = [(("a", 1), "x"), (2, "y"), ("b", "z")]
+        tasks = shuffle(pairs, 2, HashPartitioner())
+        merged = {k: v for groups in tasks for k, v in groups}
+        assert merged == {("a", 1): ["x"], 2: ["y"], "b": ["z"]}
 
 
 class TestRoundRobinKeyPartitioner:

@@ -1,0 +1,97 @@
+"""Property-based tests for the predicate join kernels.
+
+Every registered kernel in :data:`repro.intervals.sweep.KERNELS` must
+produce exactly the pair set of the brute-force nested loop over
+``predicate.holds`` — including on degenerate (zero-length) intervals
+and touching endpoints, where the bisect boundaries are easiest to get
+wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals.allen import ALLEN_PREDICATES
+from repro.intervals.interval import Interval
+from repro.intervals.sweep import KERNELS, join_pairs, kernel_for
+
+# Small integer endpoints so equal/touching endpoints are common.
+interval_strategy = st.tuples(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=6),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+side_strategy = st.lists(interval_strategy, min_size=0, max_size=25).map(
+    lambda intervals: [(iv, i) for i, iv in enumerate(intervals)]
+)
+
+
+def brute_force(left, right, predicate):
+    return sorted(
+        (li, ri)
+        for liv, li in left
+        for riv, ri in right
+        if predicate.holds(liv, riv)
+    )
+
+
+def test_every_allen_predicate_has_a_kernel():
+    assert set(KERNELS) == set(ALLEN_PREDICATES)
+    for name in ALLEN_PREDICATES:
+        assert kernel_for(name) is KERNELS[name]
+
+
+@pytest.mark.parametrize("name", sorted(ALLEN_PREDICATES))
+@settings(max_examples=60, deadline=None)
+@given(left=side_strategy, right=side_strategy)
+def test_kernel_matches_brute_force(name, left, right):
+    predicate = ALLEN_PREDICATES[name]
+    got = sorted(
+        (li, ri) for (_, li), (_, ri) in join_pairs(left, right, predicate)
+    )
+    assert got == brute_force(left, right, predicate)
+
+
+@pytest.mark.parametrize("name", sorted(ALLEN_PREDICATES))
+def test_kernel_on_degenerate_and_touching(name):
+    """Zero-length intervals and shared endpoints, exhaustively paired."""
+    predicate = ALLEN_PREDICATES[name]
+    intervals = [
+        Interval(0, 0),
+        Interval(0, 5),
+        Interval(5, 5),
+        Interval(5, 9),
+        Interval(0, 9),
+        Interval(0, 5),  # duplicate: equals must pair both
+        Interval(9, 12),
+        Interval(5, 12),
+    ]
+    left = [(iv, f"l{i}") for i, iv in enumerate(intervals)]
+    right = [(iv, f"r{i}") for i, iv in enumerate(intervals)]
+    got = sorted(
+        (li, ri) for (_, li), (_, ri) in join_pairs(left, right, predicate)
+    )
+    assert got == brute_force(left, right, predicate)
+
+
+@pytest.mark.parametrize("name", sorted(ALLEN_PREDICATES))
+def test_kernel_empty_sides(name):
+    predicate = ALLEN_PREDICATES[name]
+    some = [(Interval(0, 3), 0)]
+    assert list(join_pairs([], some, predicate)) == []
+    assert list(join_pairs(some, [], predicate)) == []
+    assert list(join_pairs([], [], predicate)) == []
+
+
+@pytest.mark.parametrize("name", sorted(ALLEN_PREDICATES))
+def test_kernel_yields_original_items(name):
+    """Kernels must yield the caller's (interval, payload) items intact."""
+    predicate = ALLEN_PREDICATES[name]
+    left = [(Interval(0, 5), {"row": 1}), (Interval(5, 9), {"row": 2})]
+    right = [(Interval(0, 5), {"row": 3}), (Interval(9, 12), {"row": 4})]
+    for l_item, r_item in join_pairs(left, right, predicate):
+        assert l_item in left
+        assert r_item in right
+        assert predicate.holds(l_item[0], r_item[0])
