@@ -38,6 +38,12 @@ from repro.errors import (
     ReproError,
     UnsatisfiableQueryError,
 )
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    ScriptedFaultPlan,
+    resolve_faults,
+)
 from repro.intervals import (
     ALLEN_PREDICATES,
     AllenPredicate,
@@ -54,6 +60,8 @@ __all__ = [
     "ALLEN_PREDICATES",
     "AllenPredicate",
     "ExecutionMetrics",
+    "FaultEvent",
+    "FaultPlan",
     "Interval",
     "IntervalJoinQuery",
     "JoinCondition",
@@ -65,6 +73,7 @@ __all__ = [
     "Relation",
     "ReproError",
     "Row",
+    "ScriptedFaultPlan",
     "Term",
     "UnsatisfiableQueryError",
     "choose_algorithm",
@@ -73,5 +82,6 @@ __all__ = [
     "plan",
     "reference_join",
     "relation_between",
+    "resolve_faults",
     "__version__",
 ]

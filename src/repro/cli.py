@@ -122,6 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--partition-strategy", default="uniform",
         choices=["uniform", "equi_depth"],
     )
+    run.add_argument(
+        "--faults", default=None, metavar="SEED[:OPTS]",
+        help="run under deterministic fault injection, e.g. '42' or "
+        "'42:crash=0.3,delay=0.2,corrupt=0.1' "
+        "(default: $REPRO_FAULTS, then off)",
+    )
+    run.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="per-task retry budget "
+        "(default: $REPRO_MAX_ATTEMPTS, then 3 with faults / 1 without)",
+    )
+    run.add_argument(
+        "--speculative", action="store_true", default=None,
+        help="speculatively re-execute plan-delayed straggler tasks "
+        "(default: $REPRO_SPECULATIVE, then off)",
+    )
     run.add_argument("--explain", action="store_true",
                      help="print the plan and exit without running")
     run.add_argument("-o", "--output", default=None,
@@ -232,6 +248,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=executor,
         workers=workers,
         observer=observer,
+        faults=args.faults,
+        max_attempts=args.max_attempts,
+        speculative=args.speculative,
     )
     if observer is not None:
         observer.close()
@@ -245,6 +264,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"shuffled:   {human_count(m.shuffled_records)} pairs")
     print(f"replicated: {human_count(m.replicated_intervals)} intervals")
     print(f"modelled:   {human_seconds(m.simulated_seconds)}")
+    if m.tasks_failed or m.tasks_retried or m.speculative_wasted:
+        print(
+            f"faults:     {m.tasks_failed} failed, {m.tasks_retried} "
+            f"retried, {m.speculative_wasted} speculative wasted"
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for tuple_rows in result.tuples:

@@ -103,6 +103,9 @@ class JoinAlgorithm(abc.ABC):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         """Execute the query and return tuples plus metrics.
 
@@ -134,6 +137,17 @@ class JoinAlgorithm(abc.ABC):
             Optional :class:`~repro.obs.TraceRecorder`; every job, phase
             and task of the run is recorded as a span.  Purely passive —
             results and counters are identical with or without it.
+        faults:
+            Fault-injection plan — a seed, spec string or
+            :class:`~repro.faults.FaultPlan`-like object; ``None`` defers
+            to ``$REPRO_FAULTS``, ``False`` forces injection off.  Any
+            plan within the retry budget leaves tuples, outputs and
+            counters (modulo the ``faults`` group) bit-identical.
+        max_attempts:
+            Per-task retry budget (``None``: ``$REPRO_MAX_ATTEMPTS``).
+        speculative:
+            Speculative re-execution of plan-delayed stragglers
+            (``None``: ``$REPRO_SPECULATIVE``).
         """
 
     # ------------------------------------------------------------------
@@ -149,6 +163,9 @@ class JoinAlgorithm(abc.ABC):
         observer: Optional[TraceRecorder] = None,
         cost_model: Optional[CostModel] = None,
         workers: Optional[int] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> Tuple[FileSystem, Pipeline, Partitioning]:
         """Common preamble: file system, pipeline, partitioning, inputs."""
         if num_partitions < 1:
@@ -160,6 +177,9 @@ class JoinAlgorithm(abc.ABC):
             observer=observer,
             cost_model=cost_model,
             workers=workers,
+            faults=faults,
+            max_attempts=max_attempts,
+            speculative=speculative,
         )
         if partitioning is None:
             partitioning = build_partitioning(

@@ -360,6 +360,9 @@ class TwoWayCascade(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -369,6 +372,7 @@ class TwoWayCascade(JoinAlgorithm):
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
+            faults=faults, max_attempts=max_attempts, speculative=speculative,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -541,6 +541,9 @@ class GenMatrix(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         self._check_query(query)
         try:
@@ -563,6 +566,7 @@ class GenMatrix(JoinAlgorithm):
             query, data, per_dim_parts[0], fs, executor,
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
+            faults=faults, max_attempts=max_attempts, speculative=speculative,
         )
         if partitioning is not None or len(set(per_dim_parts)) == 1:
             partitionings: List[Partitioning] = [parts] * len(

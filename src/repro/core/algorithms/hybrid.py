@@ -176,6 +176,9 @@ class FCTS(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError("FCTS handles single-attribute queries")
@@ -220,6 +223,9 @@ class FCTS(JoinAlgorithm):
                     cost_model=cost_model,
                     partition_strategy=partition_strategy,
                     observer=observer,
+                    faults=faults,
+                    max_attempts=max_attempts,
+                    speculative=speculative,
                 )
                 sub_metrics.append(sub_result.metrics)
                 seq_filters = [
@@ -259,6 +265,9 @@ class FCTS(JoinAlgorithm):
             workers=workers,
             observer=observer,
             cost_model=cost_model,
+            faults=faults,
+            max_attempts=max_attempts,
+            speculative=speculative,
         )
         from repro.core.algorithms.base import build_partitioning
 
@@ -332,6 +341,9 @@ class FSTC(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if query.query_class is not QueryClass.HYBRID:
             raise PlanningError("FSTC handles hybrid queries")
@@ -362,6 +374,9 @@ class FSTC(JoinAlgorithm):
             cost_model=cost_model,
             partition_strategy=partition_strategy,
             observer=observer,
+            faults=faults,
+            max_attempts=max_attempts,
+            speculative=speculative,
         )
         partial_records = [
             tuple((name, row) for name, row in zip(seq_query.relations, t))
@@ -388,6 +403,9 @@ class FSTC(JoinAlgorithm):
             workers=workers,
             observer=observer,
             cost_model=cost_model,
+            faults=faults,
+            max_attempts=max_attempts,
+            speculative=speculative,
         )
         bound: List[str] = list(seq_query.relations)
         remaining = [n for n in query.relations if n not in bound]

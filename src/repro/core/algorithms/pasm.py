@@ -177,6 +177,9 @@ class PASM(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -192,6 +195,7 @@ class PASM(JoinAlgorithm):
             query, data, grid_parts, fs, executor,
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
+            faults=faults, max_attempts=max_attempts, speculative=speculative,
         )
         grid = GridSpec(graph, parts)
         multi_components = [

@@ -223,6 +223,9 @@ class RCCIS(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if query.query_class is not QueryClass.COLOCATION:
             raise PlanningError(
@@ -233,6 +236,7 @@ class RCCIS(JoinAlgorithm):
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
+            faults=faults, max_attempts=max_attempts, speculative=speculative,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -79,6 +79,9 @@ class TwoWayJoin(JoinAlgorithm):
         partitioning: Optional[Partitioning] = None,
         partition_strategy: str = "uniform",
         observer: Optional[TraceRecorder] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> JoinResult:
         if len(query.conditions) != 1 or len(query.relations) != 2:
             raise PlanningError(
@@ -89,6 +92,7 @@ class TwoWayJoin(JoinAlgorithm):
             query, data, num_partitions, fs, executor,
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
+            faults=faults, max_attempts=max_attempts, speculative=speculative,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -46,6 +46,9 @@ def execute(
     partition_strategy: str = "uniform",
     prune: bool = False,
     observer: Optional[TraceRecorder] = None,
+    faults=None,
+    max_attempts: Optional[int] = None,
+    speculative: Optional[bool] = None,
 ) -> JoinResult:
     """Plan and run an interval join query.
 
@@ -71,6 +74,13 @@ def execute(
         is recorded as a span hierarchy (query -> algorithm -> job ->
         phase -> task) with counter deltas and cost-model charges;
         results are identical with or without it.
+    faults, max_attempts, speculative:
+        Fault-injection plan (seed / spec string / plan object), per-task
+        retry budget, and speculative re-execution switch; ``None``
+        defers to ``REPRO_FAULTS`` / ``REPRO_MAX_ATTEMPTS`` /
+        ``REPRO_SPECULATIVE``.  Any plan within the retry budget leaves
+        tuples and counters (modulo the ``faults`` group) bit-identical
+        to a fault-free run.
 
     Other keyword arguments are forwarded to the algorithm; see
     :meth:`~repro.core.algorithms.base.JoinAlgorithm.run`.
@@ -113,6 +123,9 @@ def execute(
             partitioning=partitioning,
             partition_strategy=partition_strategy,
             observer=observer,
+            faults=faults,
+            max_attempts=max_attempts,
+            speculative=speculative,
         )
 
     if observer is None:

@@ -43,6 +43,13 @@ class ExecutionMetrics:
     consistent_reducers: Optional[int] = None
     #: total grid cells for grid algorithms (None otherwise).
     total_reducers: Optional[int] = None
+    #: task attempts that failed (injected or genuine) and were retried
+    #: or gave up; 0 on fault-free runs.
+    tasks_failed: int = 0
+    #: failed attempts that were re-run within the retry budget.
+    tasks_retried: int = 0
+    #: speculative backup attempts whose output was discarded.
+    speculative_wasted: int = 0
 
     @classmethod
     def from_pipeline(
@@ -70,6 +77,9 @@ class ExecutionMetrics:
             output_records=pipeline.jobs[-1].output_records if pipeline.jobs else 0,
             reducer_loads=loads,
             simulated_seconds=cost_model.pipeline_time(pipeline),
+            tasks_failed=counters.value("faults", "tasks_failed"),
+            tasks_retried=counters.value("faults", "tasks_retried"),
+            speculative_wasted=counters.value("faults", "speculative_wasted"),
         )
 
     @classmethod
@@ -89,6 +99,9 @@ class ExecutionMetrics:
             merged.comparisons += part.comparisons
             merged.records_read += part.records_read
             merged.simulated_seconds += part.simulated_seconds
+            merged.tasks_failed += part.tasks_failed
+            merged.tasks_retried += part.tasks_retried
+            merged.speculative_wasted += part.speculative_wasted
             for key, value in part.reducer_loads.items():
                 composite_key = (part.algorithm, key)
                 merged.reducer_loads[composite_key] = (

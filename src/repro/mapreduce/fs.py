@@ -14,6 +14,14 @@ Paths are plain strings with ``/`` separators.  A "file" holds an ordered
 sequence of records; directories are implicit (a path prefix).  Output
 paths behave like Hadoop job outputs: writing to an existing path raises
 unless ``overwrite=True``.
+
+Task output follows Hadoop's two-phase commit protocol: a reduce attempt
+writes to ``<output>/_temporary/task-NNNNN/attempt-K`` and the winning
+attempt is *promoted* (renamed) to ``<output>/part-NNNNN`` on success —
+failed and speculative attempts are discarded without ever becoming
+visible.  Mirroring Hadoop's hidden-file convention, path components
+starting with ``_`` are invisible to :meth:`FileSystem.read_dir`, so a
+reader of the output directory can never observe uncommitted data.
 """
 
 from __future__ import annotations
@@ -58,16 +66,75 @@ class FileSystem(abc.ABC):
     def list_prefix(self, prefix: str) -> List[str]:
         """All file paths starting with ``prefix``, sorted."""
 
+    def rename(self, src: str, dst: str) -> None:
+        """Move the file at ``src`` to ``dst`` (replacing any existing
+        file there).  The generic implementation copies and deletes;
+        concrete file systems override with an atomic move."""
+        self.write(dst, self.read(src), overwrite=True)
+        self.delete(src)
+
     # ------------------------------------------------------------------
-    def append_partition(self, base: str, index: int, records: Iterable[Any]) -> str:
-        """Write one ``part-NNNNN`` file under ``base`` (Hadoop layout)."""
-        path = f"{base}/part-{index:05d}"
+    # Task-output commit protocol (Hadoop's FileOutputCommitter shape):
+    # every attempt writes under _temporary/, only a promoted attempt
+    # becomes a visible part file.
+    # ------------------------------------------------------------------
+    def task_attempt_path(self, base: str, index: int, attempt: int) -> str:
+        """Where task ``index``'s attempt ``attempt`` stages its output."""
+        return f"{base}/_temporary/task-{index:05d}/attempt-{attempt}"
+
+    def write_attempt(
+        self, base: str, index: int, attempt: int, records: Iterable[Any]
+    ) -> str:
+        """Stage one attempt's output under ``_temporary``; returns the
+        staged path.  Invisible to :meth:`read_dir` until promoted."""
+        path = self.task_attempt_path(base, index, attempt)
         self.write(path, records, overwrite=True)
         return path
 
+    def discard_attempt(self, base: str, index: int, attempt: int) -> None:
+        """Drop one staged attempt (failed or speculative loser)."""
+        self.delete(self.task_attempt_path(base, index, attempt))
+
+    def promote_attempt(self, base: str, index: int, attempt: int) -> str:
+        """Commit one staged attempt as ``part-NNNNN``.
+
+        The winning attempt's file is renamed into place and every other
+        staged attempt of the task is discarded, so exactly one
+        attempt's output ever becomes visible.
+        """
+        src = self.task_attempt_path(base, index, attempt)
+        if not self.exists(src):
+            raise FileSystemError(
+                f"cannot promote missing attempt: {src!r}"
+            )
+        dst = f"{base}/part-{index:05d}"
+        self.rename(src, dst)
+        for leftover in self.list_prefix(f"{base}/_temporary/task-{index:05d}/"):
+            self.delete(leftover)
+        return dst
+
+    # ------------------------------------------------------------------
+    def append_partition(self, base: str, index: int, records: Iterable[Any]) -> str:
+        """Write one ``part-NNNNN`` file under ``base`` (Hadoop layout),
+        through the commit protocol: stage as attempt 0, then promote."""
+        self.write_attempt(base, index, 0, records)
+        return self.promote_attempt(base, index, 0)
+
+    @staticmethod
+    def _is_hidden(relative: str) -> bool:
+        """Hadoop's convention: ``_``-prefixed components are invisible
+        to directory readers (``_temporary`` staging, ``_SUCCESS``)."""
+        return any(part.startswith("_") for part in relative.split("/"))
+
     def read_dir(self, base: str) -> Iterator[Any]:
-        """Iterate over all records in all part files under ``base``."""
-        paths = self.list_prefix(base.rstrip("/") + "/")
+        """Iterate over all records in all *visible* files under ``base``
+        (uncommitted ``_temporary`` attempt data is never surfaced)."""
+        prefix = base.rstrip("/") + "/"
+        paths = [
+            path
+            for path in self.list_prefix(prefix)
+            if not self._is_hidden(path[len(prefix):])
+        ]
         if not paths and self.exists(base):
             paths = [base]
         for path in paths:
@@ -105,6 +172,12 @@ class InMemoryFileSystem(FileSystem):
 
     def delete(self, path: str) -> None:
         self._files.pop(path, None)
+
+    def rename(self, src: str, dst: str) -> None:
+        try:
+            self._files[dst] = self._files.pop(src)
+        except KeyError:
+            raise FileSystemError(f"no such file: {src!r}") from None
 
     def list_prefix(self, prefix: str) -> List[str]:
         return sorted(p for p in self._files if p.startswith(prefix))
@@ -177,6 +250,25 @@ class LocalFileSystem(FileSystem):
             os.remove(target)
         elif os.path.isdir(target):
             shutil.rmtree(target)
+
+    def rename(self, src: str, dst: str) -> None:
+        source = self._resolve(src)
+        if not os.path.isfile(source):
+            raise FileSystemError(f"no such file: {src!r}")
+        target = self._resolve(dst)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.replace(source, target)
+
+    def promote_attempt(self, base: str, index: int, attempt: int) -> str:
+        dst = super().promote_attempt(base, index, attempt)
+        # Prune the now-empty on-disk staging directories.
+        task_dir = self._resolve(f"{base}/_temporary/task-{index:05d}")
+        if os.path.isdir(task_dir):
+            shutil.rmtree(task_dir)
+        temp_dir = self._resolve(f"{base}/_temporary")
+        if os.path.isdir(temp_dir) and not os.listdir(temp_dir):
+            os.rmdir(temp_dir)
+        return dst
 
     def list_prefix(self, prefix: str) -> List[str]:
         found: List[str] = []

@@ -68,6 +68,9 @@ class Pipeline:
         observer: Optional["TraceRecorder"] = None,
         cost_model: Optional["CostModel"] = None,
         workers: Optional[int] = None,
+        faults=None,
+        max_attempts: Optional[int] = None,
+        speculative: Optional[bool] = None,
     ) -> None:
         self.fs = fs
         #: executor name, or None to defer to $REPRO_EXECUTOR / "serial".
@@ -78,6 +81,12 @@ class Pipeline:
         self.cost_model = cost_model
         #: worker count for the parallel executors (None: resolved per job).
         self.workers = workers
+        #: fault-injection plan / seed / spec (None: $REPRO_FAULTS).
+        self.faults = faults
+        #: per-task retry budget (None: $REPRO_MAX_ATTEMPTS).
+        self.max_attempts = max_attempts
+        #: speculative re-execution switch (None: $REPRO_SPECULATIVE).
+        self.speculative = speculative
         self.result = PipelineResult()
 
     def run(self, conf: JobConf) -> JobResult:
@@ -89,6 +98,9 @@ class Pipeline:
             observer=self.observer,
             cost_model=self.cost_model,
             workers=self.workers,
+            faults=self.faults,
+            max_attempts=self.max_attempts,
+            speculative=self.speculative,
         )
         self.result.jobs.append(job_result)
         return job_result

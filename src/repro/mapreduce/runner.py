@@ -39,10 +39,27 @@ records back and the parent materialises the spans via
 :meth:`~repro.obs.TraceRecorder.record_completed`.  Observation is
 passive: with ``observer=None`` the execution path, results and counters
 are identical to an unobserved run.
+
+Fault tolerance (:mod:`repro.faults`) mirrors Hadoop's task-attempt
+semantics.  When a fault plan, a retry budget (``max_attempts`` > 1) or
+speculation is active, every map/reduce task becomes an *attempt loop*:
+a failed attempt — injected crash, corrupt output detected at commit, or
+a genuine task exception — is retried with exponential backoff (charged
+as virtual time on the retry's span; real sleeping only happens under
+the parallel executors, capped), its counters discarded so job totals
+stay bit-identical to a fault-free run.  Reduce attempts stage output
+through the file system's ``_temporary``/promote commit protocol, and
+speculative backups of plan-delayed stragglers run after the phase wave
+— the committed result is the first attempt to finish, the backup is
+discarded before commit and counted as ``faults:speculative_wasted``.
+Failed and speculative attempts are recorded as ``kind="attempt"`` spans
+with ``attempt=`` metadata.  With no fault machinery active the
+original single-attempt code paths run unchanged.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 import os
 import threading
@@ -50,6 +67,7 @@ import time
 from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -62,7 +80,14 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import MapReduceError
+from repro.errors import FaultInjectedError, MapReduceError, WorkerPoolError
+from repro.faults import (
+    CORRUPT,
+    FAULTS_GROUP,
+    AttemptInjector,
+    ResolvedFaults,
+    resolve_faults,
+)
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
@@ -158,19 +183,59 @@ def shutdown_worker_pools() -> None:
         pool.shutdown(wait=True, cancel_futures=True)
 
 
+def _discard_broken_pool(pool: ProcessPoolExecutor, workers: int) -> None:
+    with _pools_lock:
+        if _pools.get(workers) is pool:
+            _pools.pop(workers)
+    pool.shutdown(wait=False)
+
+
 def _pool_map(
-    fn: Callable[[Any], Any], payloads: Sequence[Any], workers: int
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int,
+    job: str,
+    phase: str,
+    indices: Sequence[int],
 ) -> List[Any]:
-    """Dispatch payloads to the worker pool in chunks, preserving order."""
+    """Dispatch payloads to the worker pool in chunks, preserving order.
+
+    A broken pool surfaces as :class:`WorkerPoolError` carrying the job,
+    the phase and the submitted task indices — with chunked ``pool.map``
+    dispatch no result is retrievable once the pool dies, so the whole
+    batch is reported as pending.
+    """
     pool = _process_pool(workers)
     chunksize = max(1, math.ceil(len(payloads) / (workers * 4)))
     try:
         return list(pool.map(fn, payloads, chunksize=chunksize))
     except BrokenProcessPool as exc:
-        with _pools_lock:
-            _pools.pop(workers, None)
-        pool.shutdown(wait=False)
-        raise MapReduceError(f"worker pool crashed: {exc}") from exc
+        _discard_broken_pool(pool, workers)
+        raise WorkerPoolError(job, phase, indices, str(exc)) from exc
+
+
+def _submit_attempt(
+    fn: Callable[[Any], Any],
+    payload: Any,
+    workers: int,
+    job: str,
+    phase: str,
+    task_index: int,
+) -> Tuple[Any, Counters, float]:
+    """Run one task attempt on the worker pool.
+
+    Fault-tolerant execution submits attempts individually (never
+    chunked): a retry must re-run exactly the failed task, and a
+    per-attempt future lets injected worker-side failures map back to
+    the one attempt that raised them.
+    """
+    pool = _process_pool(workers)
+    try:
+        result, counter_dict, elapsed = pool.submit(fn, payload).result()
+    except BrokenProcessPool as exc:
+        _discard_broken_pool(pool, workers)
+        raise WorkerPoolError(job, phase, (task_index,), str(exc)) from exc
+    return result, Counters.from_dict(counter_dict), elapsed
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +250,7 @@ def _map_task_core(
     records: Sequence[Any],
     mapper: Mapper,
     combiner: Optional[Reducer],
+    faults: Optional[AttemptInjector] = None,
 ) -> Tuple[List[Tuple[Hashable, Any]], Counters]:
     """Run one map task (one input spec), combiner included."""
     counters = Counters()
@@ -193,11 +259,13 @@ def _map_task_core(
     for record in records:
         counters.increment("framework", "map_input_records")
         mapper.map(record, context)
+    if faults is not None:
+        faults.check("cleanup")
     mapper.cleanup(context)
     task_pairs = context.drain()
     counters.increment("framework", "map_output_records", len(task_pairs))
     if combiner is not None:
-        task_pairs = _run_combiner(combiner, task_pairs, counters)
+        task_pairs = _run_combiner(combiner, task_pairs, counters, faults)
     return task_pairs, counters
 
 
@@ -205,10 +273,13 @@ def _run_combiner(
     combiner: Reducer,
     pairs: List[Tuple[Hashable, Any]],
     counters: Counters,
+    faults: Optional[AttemptInjector] = None,
 ) -> List[Tuple[Hashable, Any]]:
     """Apply a combiner to one map task's output, Hadoop style: the
     combiner reduces each key's values locally and re-emits pairs under
     the same key."""
+    if faults is not None:
+        faults.check("combiner")
     counters.increment("framework", "combine_input_records", len(pairs))
     grouped: Dict[Hashable, List[Any]] = defaultdict(list)
     for key, value in pairs:
@@ -229,6 +300,7 @@ def _reduce_task_core(
     reducer: Reducer,
     task_index: int,
     groups: List[Tuple[Hashable, List[Any]]],
+    faults: Optional[AttemptInjector] = None,
 ) -> Tuple[List[Any], Counters]:
     """The untraced body of one physical reduce task."""
     counters = Counters()
@@ -244,6 +316,8 @@ def _reduce_task_core(
         counters.increment("framework", "reduce_input_records", len(values))
         reducer.reduce(key, values, context)
         output.extend(context.drain())
+    if faults is not None:
+        faults.check("cleanup")
     reducer.cleanup(context)
     output.extend(context.drain())
     counters.increment("framework", "reduce_output_records", len(output))
@@ -377,6 +451,33 @@ def _process_reduce_task(
     return output, task_counters.as_dict(), time.perf_counter() - started
 
 
+def _process_map_attempt(
+    payload: Tuple[str, Sequence[Any], Mapper, Optional[Reducer], Tuple],
+) -> Tuple[List[Tuple[Hashable, Any]], Dict[str, Dict[str, int]], float]:
+    """One fault-aware map attempt: the injected events travel in the
+    payload so worker-side lifecycle crashes fire inside the worker and
+    propagate back through the attempt's future."""
+    path, records, mapper, combiner, events = payload
+    injector = AttemptInjector(events)
+    started = time.perf_counter()
+    task_pairs, task_counters = _map_task_core(
+        path, records, mapper, combiner, faults=injector
+    )
+    return task_pairs, task_counters.as_dict(), time.perf_counter() - started
+
+
+def _process_reduce_attempt(
+    payload: Tuple[Reducer, int, List[Tuple[Hashable, List[Any]]], Tuple],
+) -> Tuple[List[Any], Dict[str, Dict[str, int]], float]:
+    reducer, task_index, groups, events = payload
+    injector = AttemptInjector(events)
+    started = time.perf_counter()
+    output, task_counters = _reduce_task_core(
+        reducer, task_index, groups, faults=injector
+    )
+    return output, task_counters.as_dict(), time.perf_counter() - started
+
+
 # ----------------------------------------------------------------------
 # Phase drivers.
 # ----------------------------------------------------------------------
@@ -393,7 +494,10 @@ def _run_map_tasks_processes(
         (spec.path, records, spec.mapper, conf.combiner)
         for _, spec, records in tasks
     ]
-    shipped = _pool_map(_process_map_task, payloads, workers)
+    shipped = _pool_map(
+        _process_map_task, payloads, workers,
+        conf.name, "map", [index for index, _, _ in tasks],
+    )
     results = []
     for (index, spec, _), (task_pairs, counter_dict, elapsed) in zip(
         tasks, shipped
@@ -426,7 +530,10 @@ def _run_reduce_tasks_processes(
     payloads = [
         (conf.reducer, index, groups) for index, groups in enumerate(tasks)
     ]
-    shipped = _pool_map(_process_reduce_task, payloads, workers)
+    shipped = _pool_map(
+        _process_reduce_task, payloads, workers,
+        conf.name, "reduce", range(len(payloads)),
+    )
     results = []
     for index, (output, counter_dict, elapsed) in enumerate(shipped):
         task_counters = Counters.from_dict(counter_dict)
@@ -517,6 +624,384 @@ def _run_map_phase(
     return pairs
 
 
+# ----------------------------------------------------------------------
+# Fault-tolerant execution: the task-attempt loop (Hadoop semantics).
+# Active only when a fault plan / retry budget / speculation is resolved;
+# otherwise the single-attempt phase drivers above run unchanged.
+# ----------------------------------------------------------------------
+
+@dataclass
+class _TaskOutcome:
+    """What one task's attempt loop produced: the winning attempt's
+    result and counters, the fault bookkeeping accumulated along the
+    way, which attempt number won, and whether the winner was
+    plan-delayed (making it a speculation candidate)."""
+
+    result: Any
+    counters: Counters
+    fault_counters: Counters
+    attempt: int
+    delayed: bool
+
+
+def _run_task_attempts(
+    *,
+    job: str,
+    phase: str,
+    task_index: int,
+    span_name: str,
+    execute: Callable[[int, AttemptInjector], Tuple[Any, Counters, float]],
+    fctx: ResolvedFaults,
+    executor: str,
+    observer: Optional["TraceRecorder"],
+    parent: Optional["Span"],
+    attrs_fn: Callable[[Counters, Any], Dict[str, Any]],
+    counters_view: Callable[[Counters], Dict[str, Dict[str, int]]],
+    stage: Optional[Callable[[Any, int], None]] = None,
+    discard: Optional[Callable[[int], None]] = None,
+) -> _TaskOutcome:
+    """Run one task to success within its retry budget.
+
+    Each attempt walks Hadoop's lifecycle: exponential backoff (real
+    sleeping — capped — only under the parallel executors; the serial
+    executor charges it as virtual time on the winning span), injected
+    ``setup`` crashes, injected delays, the task body via ``execute``,
+    optional output staging via ``stage``, then the commit-point checks
+    (a ``corrupt-output`` event discards the staged output and fails the
+    attempt).  A failed attempt's counters are discarded — only the
+    winner's merge into the job, which is what keeps chaos-run totals
+    bit-identical to fault-free runs — and the failure is recorded as a
+    ``kind="attempt"`` span.  The winner keeps the regular
+    ``kind="task"`` span, annotated with its ``attempt`` number.  Once
+    the budget is spent the *original* exception propagates.
+    """
+    fault_counters = Counters()
+    real_sleep = executor != "serial"
+    for attempt in range(fctx.max_attempts):
+        injector = AttemptInjector(
+            fctx.events_for(job, phase, task_index, attempt)
+        )
+        backoff = fctx.backoff_seconds(attempt)
+        if backoff and real_sleep:
+            time.sleep(min(backoff, fctx.sleep_cap))
+        delay = injector.delay_seconds()
+        started = time.perf_counter()
+        staged = False
+        try:
+            injector.check("setup")
+            if delay and real_sleep:
+                time.sleep(min(delay, fctx.sleep_cap))
+            result, task_counters, elapsed = execute(attempt, injector)
+            if stage is not None:
+                stage(result, attempt)
+                staged = True
+            if injector.corrupts_output():
+                raise FaultInjectedError(CORRUPT, "commit")
+            injector.check("commit")
+        except Exception as exc:
+            if staged and discard is not None:
+                discard(attempt)
+            fault_counters.increment(FAULTS_GROUP, "tasks_failed")
+            if observer is not None:
+                failure_attrs: Dict[str, Any] = {
+                    "job": job,
+                    "phase": phase,
+                    "task_index": task_index,
+                    "attempt": attempt,
+                    "error": type(exc).__name__,
+                }
+                if isinstance(exc, FaultInjectedError):
+                    failure_attrs["fault"] = exc.kind
+                observer.record_completed(
+                    span_name,
+                    kind="attempt",
+                    parent=parent,
+                    duration=time.perf_counter() - started,
+                    **failure_attrs,
+                )
+            if attempt + 1 >= fctx.max_attempts:
+                raise
+            fault_counters.increment(FAULTS_GROUP, "tasks_retried")
+            continue
+        duration = elapsed
+        if not real_sleep:
+            duration += delay + backoff  # straggling is virtual when serial
+        if observer is not None:
+            attrs: Dict[str, Any] = {
+                "job": job,
+                "phase": phase,
+                "task_index": task_index,
+                "attempt": attempt,
+            }
+            if delay:
+                attrs["fault_delay_seconds"] = delay
+            attrs.update(attrs_fn(task_counters, result))
+            observer.record_completed(
+                span_name,
+                kind="task",
+                parent=parent,
+                duration=duration,
+                counters=counters_view(task_counters),
+                **attrs,
+            )
+        return _TaskOutcome(
+            result, task_counters, fault_counters, attempt, delay > 0
+        )
+    raise MapReduceError(  # pragma: no cover - loop always returns/raises
+        f"task {task_index} of job {job!r} exhausted its attempt budget"
+    )
+
+
+def _speculate(
+    job: str,
+    phase: str,
+    outcomes: Sequence[_TaskOutcome],
+    name_of: Callable[[int], str],
+    rerun: Callable[[int, int], None],
+    fctx: ResolvedFaults,
+    observer: Optional["TraceRecorder"],
+    parent: Optional["Span"],
+) -> None:
+    """Run backup attempts for plan-delayed winners.
+
+    First-to-finish wins — and by construction the original attempt has
+    already finished, so the backup is pure wasted work: its output is
+    discarded before commit and it is counted as
+    ``faults:speculative_wasted`` and recorded as a speculative
+    ``kind="attempt"`` span.  A backup that itself fails is swallowed
+    (a lost speculation never fails the job)."""
+    if not fctx.speculative or fctx.plan is None:
+        return
+    for index, outcome in enumerate(outcomes):
+        if not outcome.delayed:
+            continue
+        backup = outcome.attempt + 1
+        started = time.perf_counter()
+        error: Optional[BaseException] = None
+        try:
+            rerun(index, backup)
+        except Exception as exc:
+            error = exc
+        outcome.fault_counters.increment(FAULTS_GROUP, "speculative_wasted")
+        if observer is not None:
+            attrs: Dict[str, Any] = {
+                "job": job,
+                "phase": phase,
+                "task_index": index,
+                "attempt": backup,
+                "speculative": True,
+            }
+            if error is not None:
+                attrs["error"] = type(error).__name__
+            observer.record_completed(
+                name_of(index),
+                kind="attempt",
+                parent=parent,
+                duration=time.perf_counter() - started,
+                **attrs,
+            )
+
+
+def _run_map_phase_faulted(
+    fs: FileSystem,
+    conf: JobConf,
+    counters: Counters,
+    observer: Optional["TraceRecorder"],
+    cost_model: Optional["CostModel"],
+    executor: str,
+    workers: int,
+    fctx: ResolvedFaults,
+) -> List[Tuple[Hashable, Any]]:
+    """The map phase under fault-tolerant semantics.
+
+    Inputs are materialised up front under every executor (an attempt
+    must be re-runnable from identical records).  ``serial`` drives the
+    attempt loops inline; ``threads`` and ``processes`` drive one loop
+    per task on parent-side driver threads — under ``processes`` each
+    attempt is shipped to the worker pool individually.  Outcomes merge
+    in task order, so pairs and totals stay executor-independent.
+    """
+    tasks = [
+        (index, spec, list(fs.read_dir(spec.path)))
+        for index, spec in enumerate(conf.inputs)
+    ]
+    phase_span = (
+        observer.start_span("map", kind="phase", job=conf.name)
+        if observer is not None
+        else None
+    )
+    pairs: List[Tuple[Hashable, Any]] = []
+    try:
+        def run_attempt(index, spec, records, injector):
+            if executor == "processes":
+                payload = (
+                    spec.path, records, spec.mapper, conf.combiner,
+                    injector.events,
+                )
+                return _submit_attempt(
+                    _process_map_attempt, payload, workers,
+                    conf.name, "map", index,
+                )
+            started = time.perf_counter()
+            # Hadoop semantics: every attempt deserialises a pristine
+            # mapper, so a failed attempt leaves no state behind (the
+            # process pool gets this for free from pickling).
+            task_pairs, task_counters = _map_task_core(
+                spec.path, records, copy.deepcopy(spec.mapper),
+                copy.deepcopy(conf.combiner), faults=injector,
+            )
+            return task_pairs, task_counters, time.perf_counter() - started
+
+        def attempts(index, spec, records):
+            return _run_task_attempts(
+                job=conf.name,
+                phase="map",
+                task_index=index,
+                span_name=f"map:{spec.path}",
+                execute=lambda attempt, injector: run_attempt(
+                    index, spec, records, injector
+                ),
+                fctx=fctx,
+                executor=executor,
+                observer=observer,
+                parent=phase_span,
+                attrs_fn=lambda c, r: _map_span_attrs(c, r, cost_model),
+                counters_view=lambda c: c.delta({}),
+            )
+
+        if executor == "serial":
+            outcomes = [attempts(i, spec, recs) for i, spec, recs in tasks]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(attempts, i, spec, recs)
+                    for i, spec, recs in tasks
+                ]
+                outcomes = [future.result() for future in futures]
+
+        def rerun(index, attempt):
+            _, spec, records = tasks[index]
+            if executor == "processes":
+                _submit_attempt(
+                    _process_map_attempt,
+                    (spec.path, records, spec.mapper, conf.combiner, ()),
+                    workers, conf.name, "map", index,
+                )
+            else:
+                _map_task_core(
+                    spec.path, records, copy.deepcopy(spec.mapper),
+                    copy.deepcopy(conf.combiner),
+                )
+
+        _speculate(
+            conf.name, "map", outcomes,
+            lambda i: f"map:{tasks[i][1].path}",
+            rerun, fctx, observer, phase_span,
+        )
+
+        for outcome in outcomes:
+            counters.merge(outcome.counters)
+            counters.merge(outcome.fault_counters)
+            pairs.extend(outcome.result)
+    finally:
+        if observer is not None and phase_span is not None:
+            observer.end_span(phase_span)
+    return pairs
+
+
+def _run_reduce_phase_faulted(
+    fs: FileSystem,
+    conf: JobConf,
+    tasks: Sequence[List[Tuple[Hashable, List[Any]]]],
+    observer: Optional["TraceRecorder"],
+    reduce_span: Optional["Span"],
+    cost_model: Optional["CostModel"],
+    executor: str,
+    workers: int,
+    fctx: ResolvedFaults,
+) -> List[_TaskOutcome]:
+    """The reduce phase under fault-tolerant semantics.
+
+    Every attempt stages its output through the file system's commit
+    protocol (``_temporary/task-NNNNN/attempt-K``); corrupt attempts are
+    discarded, and the caller promotes each winner to its ``part-*``
+    file when gathering results.
+    """
+    def run_attempt(index, groups, injector):
+        if executor == "processes":
+            payload = (conf.reducer, index, groups, injector.events)
+            return _submit_attempt(
+                _process_reduce_attempt, payload, workers,
+                conf.name, "reduce", index,
+            )
+        started = time.perf_counter()
+        # A pristine reducer per attempt (matching what pickling gives
+        # the process pool): reducers may cache state on ``self``, and a
+        # shared instance would let a failed attempt's work leak into a
+        # concurrent task's counters.
+        output, task_counters = _reduce_task_core(
+            copy.deepcopy(conf.reducer), index, groups, faults=injector
+        )
+        return output, task_counters, time.perf_counter() - started
+
+    def attempts(index, groups):
+        return _run_task_attempts(
+            job=conf.name,
+            phase="reduce",
+            task_index=index,
+            span_name=f"reduce[{index}]",
+            execute=lambda attempt, injector: run_attempt(
+                index, groups, injector
+            ),
+            fctx=fctx,
+            executor=executor,
+            observer=observer,
+            parent=reduce_span,
+            attrs_fn=lambda c, r: _reduce_span_attrs(c, r, cost_model),
+            counters_view=lambda c: c.snapshot(),
+            stage=lambda records, attempt: fs.write_attempt(
+                conf.output, index, attempt, records
+            ),
+            discard=lambda attempt: fs.discard_attempt(
+                conf.output, index, attempt
+            ),
+        )
+
+    if executor == "serial":
+        outcomes = [attempts(i, groups) for i, groups in enumerate(tasks)]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(attempts, i, groups)
+                for i, groups in enumerate(tasks)
+            ]
+            outcomes = [future.result() for future in futures]
+
+    def rerun(index, attempt):
+        groups = tasks[index]
+        if executor == "processes":
+            output, _, _ = _submit_attempt(
+                _process_reduce_attempt,
+                (conf.reducer, index, groups, ()),
+                workers, conf.name, "reduce", index,
+            )
+        else:
+            output, _ = _reduce_task_core(
+                copy.deepcopy(conf.reducer), index, groups
+            )
+        # The backup lost the race: stage its output, then discard it
+        # without promotion — the winner's attempt file commits instead.
+        fs.write_attempt(conf.output, index, attempt, output)
+        fs.discard_attempt(conf.output, index, attempt)
+
+    _speculate(
+        conf.name, "reduce", outcomes,
+        lambda i: f"reduce[{i}]",
+        rerun, fctx, observer, reduce_span,
+    )
+    return outcomes
+
+
 def run_job(
     fs: FileSystem,
     conf: JobConf,
@@ -524,6 +1009,9 @@ def run_job(
     observer: Optional["TraceRecorder"] = None,
     cost_model: Optional["CostModel"] = None,
     workers: Optional[int] = None,
+    faults: Any = None,
+    max_attempts: Optional[int] = None,
+    speculative: Optional[bool] = None,
 ) -> JobResult:
     """Execute one MapReduce job and return its measurements.
 
@@ -548,15 +1036,35 @@ def run_job(
     workers:
         Worker count for the parallel executors; ``None`` defers to
         ``$REPRO_WORKERS`` and then ``min(cpu_count, 8)``.
+    faults:
+        Fault-injection plan — a seed, a ``$REPRO_FAULTS``-style spec
+        string, a :class:`~repro.faults.FaultPlan`-like object, ``False``
+        (force off) or ``None`` (defer to ``$REPRO_FAULTS``).  See
+        :func:`repro.faults.resolve_faults`.
+    max_attempts:
+        Retry budget per task; ``JobConf.max_attempts`` beats this, this
+        beats ``$REPRO_MAX_ATTEMPTS``.
+    speculative:
+        Speculative re-execution of plan-delayed stragglers;
+        ``JobConf.speculative`` beats this, this beats
+        ``$REPRO_SPECULATIVE``.
     """
     executor = resolve_executor(executor)
     workers = resolve_workers(workers)
+    fctx = resolve_faults(
+        faults,
+        conf.max_attempts if conf.max_attempts is not None else max_attempts,
+        conf.speculative if conf.speculative is not None else speculative,
+    )
     if conf.num_reduce_tasks < 1:
         raise MapReduceError("a job needs at least one reduce task")
     if not conf.inputs:
         raise MapReduceError(f"job {conf.name!r} has no inputs")
     counters = Counters()
 
+    job_attrs: Dict[str, Any] = {}
+    if fctx.active:
+        job_attrs["max_attempts"] = fctx.max_attempts
     job_span = (
         observer.start_span(
             f"job:{conf.name}",
@@ -564,14 +1072,21 @@ def run_job(
             job=conf.name,
             executor=executor,
             num_reduce_tasks=conf.num_reduce_tasks,
+            **job_attrs,
         )
         if observer is not None
         else None
     )
     try:
-        pairs = _run_map_phase(
-            fs, conf, counters, observer, cost_model, executor, workers
-        )
+        if fctx.active:
+            pairs = _run_map_phase_faulted(
+                fs, conf, counters, observer, cost_model, executor, workers,
+                fctx,
+            )
+        else:
+            pairs = _run_map_phase(
+                fs, conf, counters, observer, cost_model, executor, workers
+            )
         counters.increment("framework", "shuffle_records", len(pairs))
 
         logical_loads: Dict[Hashable, int] = defaultdict(int)
@@ -603,8 +1118,18 @@ def run_job(
             if observer is not None
             else None
         )
+        reduce_outcomes: Optional[List[_TaskOutcome]] = None
         try:
-            if executor == "serial":
+            if fctx.active:
+                reduce_outcomes = _run_reduce_phase_faulted(
+                    fs, conf, tasks, observer, reduce_span, cost_model,
+                    executor, workers, fctx,
+                )
+                results = [
+                    (outcome.result, outcome.counters)
+                    for outcome in reduce_outcomes
+                ]
+            elif executor == "serial":
                 results = [
                     _run_reduce_task(
                         conf, index, groups, observer, reduce_span, cost_model
@@ -639,7 +1164,13 @@ def run_job(
         task_comparisons: List[int] = []
         for index, (records, task_counters) in enumerate(results):
             counters.merge(task_counters)
-            fs.append_partition(conf.output, index, records)
+            if reduce_outcomes is not None:
+                outcome = reduce_outcomes[index]
+                counters.merge(outcome.fault_counters)
+                # Commit: promote the winning attempt's staged file.
+                fs.promote_attempt(conf.output, index, outcome.attempt)
+            else:
+                fs.append_partition(conf.output, index, records)
             total_output += len(records)
             task_outputs.append(len(records))
             task_comparisons.append(task_counters.value("work", "comparisons"))

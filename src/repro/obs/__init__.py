@@ -20,7 +20,7 @@ recorded and results, counters and benchmark numbers are unchanged.
 """
 
 from repro.obs.recorder import TraceRecorder
-from repro.obs.report import JobLoadSummary, RunReport, TaskFlag
+from repro.obs.report import FaultSummary, JobLoadSummary, RunReport, TaskFlag
 from repro.obs.sinks import (
     ChromeTraceSink,
     InMemorySink,
@@ -39,6 +39,7 @@ __all__ = [
     "ChromeTraceSink",
     "open_sink",
     "RunReport",
+    "FaultSummary",
     "JobLoadSummary",
     "TaskFlag",
 ]

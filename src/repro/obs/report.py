@@ -13,6 +13,12 @@ reduce-task load distribution with the Section-7 statistics
   exceeds ``straggler_factor`` times the job's median task duration;
 * **empty-output tasks** — tasks that received input but emitted
   nothing (wasted shuffle volume; grid cells that never join).
+
+When the run executed under fault injection (:mod:`repro.faults`), the
+report also aggregates a :class:`FaultSummary` — failed / retried /
+speculatively-wasted attempt counts from the ``faults`` counter group
+plus the wall-clock spent in failed and speculative attempts (the
+``kind="attempt"`` spans), i.e. the run's retry & speculation overhead.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.job import JobResult
     from repro.obs.recorder import TraceRecorder
 
-__all__ = ["TaskFlag", "JobLoadSummary", "RunReport"]
+__all__ = ["TaskFlag", "JobLoadSummary", "FaultSummary", "RunReport"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +51,30 @@ class TaskFlag:
     detail: str
     load: int = 0
     duration: float = 0.0
+
+
+@dataclass
+class FaultSummary:
+    """Retry/speculation overhead of one traced run.
+
+    Counter totals come from the ``faults`` group; ``attempt_spans`` and
+    ``overhead_seconds`` aggregate the recorded ``kind="attempt"`` spans
+    (failed and speculative attempts — the work that did not commit).
+    """
+
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    speculative_wasted: int = 0
+    attempt_spans: int = 0
+    overhead_seconds: float = 0.0
+
+    @property
+    def any_faults(self) -> bool:
+        return (
+            self.tasks_failed > 0
+            or self.speculative_wasted > 0
+            or self.attempt_spans > 0
+        )
 
 
 @dataclass
@@ -66,10 +96,15 @@ class RunReport:
     """
 
     def __init__(
-        self, jobs: List[JobLoadSummary], flags: List[TaskFlag]
+        self,
+        jobs: List[JobLoadSummary],
+        flags: List[TaskFlag],
+        faults: Optional[FaultSummary] = None,
     ) -> None:
         self.jobs = jobs
         self.flags = flags
+        #: retry/speculation overhead; zeros on fault-free runs.
+        self.faults = faults if faults is not None else FaultSummary()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -155,7 +190,28 @@ class RunReport:
                 spans, straggler_factor, min_straggler_seconds
             )
         )
-        return cls(jobs, flags)
+        return cls(jobs, flags, cls._fault_summary(job_results, spans))
+
+    @staticmethod
+    def _fault_summary(
+        job_results: Sequence["JobResult"], spans: Sequence[Span]
+    ) -> FaultSummary:
+        summary = FaultSummary()
+        for result in job_results:
+            summary.tasks_failed += result.counters.value(
+                "faults", "tasks_failed"
+            )
+            summary.tasks_retried += result.counters.value(
+                "faults", "tasks_retried"
+            )
+            summary.speculative_wasted += result.counters.value(
+                "faults", "speculative_wasted"
+            )
+        for span in spans:
+            if span.kind == "attempt":
+                summary.attempt_spans += 1
+                summary.overhead_seconds += span.duration
+        return summary
 
     @staticmethod
     def _straggler_flags(
@@ -229,6 +285,15 @@ class RunReport:
                 f"max={b.max_load}, mean={b.mean_load:.1f}, "
                 f"imbalance={b.imbalance:.2f}, Jain={b.fairness:.3f}"
                 f"{marker}"
+            )
+        if self.faults.any_faults:
+            f = self.faults
+            lines.append(
+                f"  faults: {f.tasks_failed} failed, "
+                f"{f.tasks_retried} retried, "
+                f"{f.speculative_wasted} speculative wasted; "
+                f"{f.attempt_spans} non-committing attempts cost "
+                f"{f.overhead_seconds * 1e3:.2f} ms"
             )
         if not self.flags:
             lines.append("  no flagged tasks")

@@ -1,0 +1,454 @@
+"""Unit tests for deterministic fault injection and task-attempt retry.
+
+Covers the :mod:`repro.faults` plan machinery (reproducibility is the
+load-bearing property), the runner's attempt loop across lifecycle
+injection points (setup, combiner, cleanup, commit), the commit
+protocol under corrupt output, speculation, environment resolution, and
+the observability of retries (attempt spans, fault counters, the
+RunReport fault summary).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import FaultInjectedError, MapReduceError, WorkerPoolError
+from repro.faults import (
+    CORRUPT,
+    CRASH,
+    DELAY,
+    FAULTS_ENV,
+    MAX_ATTEMPTS_ENV,
+    SPECULATIVE_ENV,
+    FaultEvent,
+    FaultPlan,
+    ResolvedFaults,
+    ScriptedFaultPlan,
+    resolve_faults,
+)
+from repro.mapreduce.fs import InMemoryFileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.runner import run_job
+from repro.mapreduce.task import Mapper, Reducer
+from repro.obs import RunReport, TraceRecorder
+
+
+class TokenizeMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit((key, sum(values)))
+
+
+class SumCombiner(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(sum(values))
+
+
+@pytest.fixture
+def fs():
+    fs = InMemoryFileSystem()
+    fs.write("in/doc", ["the quick brown fox", "the lazy dog", "the fox"])
+    return fs
+
+
+def word_count_conf(fs, **overrides):
+    defaults = dict(
+        name="wordcount",
+        inputs=[InputSpec("in/doc", TokenizeMapper())],
+        reducer=SumReducer(),
+        output="out",
+        num_reduce_tasks=3,
+    )
+    defaults.update(overrides)
+    return JobConf(**defaults)
+
+
+def expected_output(fs):
+    clean = InMemoryFileSystem()
+    clean.write("in/doc", list(fs.read("in/doc")))
+    run_job(clean, word_count_conf(clean), faults=False)
+    return sorted(clean.read_dir("out"))
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MapReduceError):
+            FaultEvent("explode")
+
+    def test_unknown_crash_point_rejected(self):
+        with pytest.raises(MapReduceError):
+            FaultEvent(CRASH, "teardown")
+
+    def test_delay_carries_seconds(self):
+        event = FaultEvent(DELAY, "setup", 0.5)
+        assert event.seconds == 0.5
+
+
+class TestFaultPlanReproducibility:
+    """Same seed => same schedule: the property the whole chaos CI lane
+    depends on."""
+
+    TASKS = [
+        (job, phase, index)
+        for job in ("join", "mark", "wordcount")
+        for phase in ("map", "reduce")
+        for index in range(8)
+    ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 2014, 123456789])
+    def test_same_seed_same_schedule(self, seed):
+        first = FaultPlan(seed)
+        second = FaultPlan(seed)
+        for job, phase, index in self.TASKS:
+            assert first.schedule(job, phase, index, 4) == second.schedule(
+                job, phase, index, 4
+            )
+
+    def test_schedule_ignores_global_random_state(self):
+        plan = FaultPlan(42)
+        random.seed(1)
+        before = [plan.schedule(*task, 4) for task in self.TASKS]
+        random.seed(999)
+        random.random()
+        after = [plan.schedule(*task, 4) for task in self.TASKS]
+        assert before == after
+
+    def test_schedule_ignores_query_order(self):
+        plan = FaultPlan(42)
+        forward = {
+            task: plan.schedule(*task, 4) for task in self.TASKS
+        }
+        backward = {
+            task: plan.schedule(*task, 4) for task in reversed(self.TASKS)
+        }
+        assert forward == backward
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1)
+        b = FaultPlan(2)
+        assert any(
+            a.schedule(*task, 4) != b.schedule(*task, 4)
+            for task in self.TASKS
+        )
+
+    def test_failures_stop_within_budget(self):
+        """Attempts past the drawn failure count carry no failure event,
+        so max_attempts > max_failures_per_task always converges."""
+        plan = FaultPlan(7, crash_rate=0.5, corrupt_rate=0.4)
+        for job, phase, index in self.TASKS:
+            schedule = plan.schedule(job, phase, index, 5)
+            final = schedule[plan.max_failures_per_task:]
+            assert all(
+                event.kind == DELAY
+                for events in final
+                for event in events
+            )
+
+
+class TestFaultPlanParse:
+    def test_bare_seed(self):
+        plan = FaultPlan.parse("42")
+        assert plan.seed == 42
+
+    def test_options(self):
+        plan = FaultPlan.parse(
+            "7:crash=0.3,delay=0.2,corrupt=0.1,delay_seconds=0.05,"
+            "max_failures=1"
+        )
+        assert (plan.seed, plan.crash_rate, plan.delay_rate) == (7, 0.3, 0.2)
+        assert (plan.corrupt_rate, plan.max_failures_per_task) == (0.1, 1)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(MapReduceError):
+            FaultPlan.parse("not-a-seed")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(MapReduceError):
+            FaultPlan.parse("42:explosions=0.5")
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(MapReduceError):
+            FaultPlan(1, crash_rate=1.5)
+        with pytest.raises(MapReduceError):
+            FaultPlan(1, crash_rate=0.7, corrupt_rate=0.7)
+
+
+def scripted(job, phase, task_index, attempt, *events):
+    return ScriptedFaultPlan({(job, phase, task_index, attempt): events})
+
+
+class TestInjectionPoints:
+    """Crashes scripted into user-code lifecycle hooks are retried, not
+    silently swallowed."""
+
+    def test_combiner_crash_is_retried(self, fs):
+        expected = expected_output(fs)
+        plan = scripted(
+            "wordcount", "map", 0, 0, FaultEvent(CRASH, "combiner")
+        )
+        result = run_job(
+            fs,
+            word_count_conf(fs, combiner=SumCombiner()),
+            faults=plan,
+            max_attempts=2,
+        )
+        assert sorted(fs.read_dir("out")) == expected
+        assert result.counters.value("faults", "tasks_failed") == 1
+        assert result.counters.value("faults", "tasks_retried") == 1
+
+    def test_map_cleanup_crash_is_retried(self, fs):
+        expected = expected_output(fs)
+        plan = scripted(
+            "wordcount", "map", 0, 0, FaultEvent(CRASH, "cleanup")
+        )
+        result = run_job(fs, word_count_conf(fs), faults=plan, max_attempts=2)
+        assert sorted(fs.read_dir("out")) == expected
+        assert result.counters.value("faults", "tasks_retried") == 1
+
+    def test_reduce_cleanup_crash_is_retried(self, fs):
+        expected = expected_output(fs)
+        plan = scripted(
+            "wordcount", "reduce", 1, 0, FaultEvent(CRASH, "cleanup")
+        )
+        result = run_job(fs, word_count_conf(fs), faults=plan, max_attempts=2)
+        assert sorted(fs.read_dir("out")) == expected
+        assert result.counters.value("faults", "tasks_retried") == 1
+
+    def test_corrupt_output_discarded_and_retried(self, fs):
+        expected = expected_output(fs)
+        plan = scripted(
+            "wordcount", "reduce", 0, 0, FaultEvent(CORRUPT, "commit")
+        )
+        result = run_job(fs, word_count_conf(fs), faults=plan, max_attempts=2)
+        assert sorted(fs.read_dir("out")) == expected
+        assert result.counters.value("faults", "tasks_retried") == 1
+        # Nothing uncommitted survives the run.
+        assert not [
+            path for path in fs.list_prefix("out/") if "_temporary" in path
+        ]
+
+    def test_crash_not_swallowed_without_budget(self, fs):
+        plan = scripted(
+            "wordcount", "map", 0, 0, FaultEvent(CRASH, "cleanup")
+        )
+        with pytest.raises(FaultInjectedError):
+            run_job(fs, word_count_conf(fs), faults=plan, max_attempts=1)
+
+    def test_budget_exhaustion_raises_original_error(self, fs):
+        plan = ScriptedFaultPlan({
+            ("wordcount", "map", 0, attempt): (FaultEvent(CRASH, "setup"),)
+            for attempt in range(5)
+        })
+        with pytest.raises(FaultInjectedError) as excinfo:
+            run_job(fs, word_count_conf(fs), faults=plan, max_attempts=3)
+        assert excinfo.value.kind == CRASH
+
+
+class TestSeededChaosParity:
+    """A seeded plan within the retry budget is invisible in the output."""
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_output_and_counters_identical(self, fs, executor, seed):
+        expected = expected_output(fs)
+        clean = InMemoryFileSystem()
+        clean.write("in/doc", list(fs.read("in/doc")))
+        baseline = run_job(clean, word_count_conf(clean), faults=False)
+        result = run_job(
+            fs,
+            word_count_conf(fs),
+            executor=executor,
+            workers=2,
+            faults=f"{seed}:crash=0.5,corrupt=0.3,delay=0.2",
+            max_attempts=3,
+        )
+        assert sorted(fs.read_dir("out")) == expected
+        chaos_counters = {
+            group: values
+            for group, values in result.counters.as_dict().items()
+            if group != "faults"
+        }
+        assert chaos_counters == baseline.counters.as_dict()
+
+    def test_attempt_spans_and_task_spans(self, fs):
+        recorder = TraceRecorder()
+        result = run_job(
+            fs,
+            word_count_conf(fs),
+            faults="7:crash=0.5,corrupt=0.3",
+            max_attempts=3,
+            observer=recorder,
+        )
+        failed = result.counters.value("faults", "tasks_failed")
+        assert failed > 0
+        attempts = [s for s in recorder.spans if s.kind == "attempt"]
+        assert len(attempts) == failed
+        for span in attempts:
+            assert "attempt" in span.attributes
+            assert "error" in span.attributes
+        # Winning attempts keep the regular task spans: one per map
+        # input plus one per reduce task, exactly as fault-free.
+        tasks = [s for s in recorder.spans if s.kind == "task"]
+        assert len(tasks) == 1 + 3
+
+    def test_report_summarises_retry_overhead(self, fs):
+        recorder = TraceRecorder()
+        run_job(
+            fs,
+            word_count_conf(fs),
+            faults="7:crash=0.5,corrupt=0.3",
+            max_attempts=3,
+            observer=recorder,
+        )
+        report = RunReport.from_recorder(recorder)
+        assert report.faults.any_faults
+        assert report.faults.tasks_failed > 0
+        assert report.faults.attempt_spans == report.faults.tasks_failed
+        assert "faults:" in report.render()
+
+
+class TestSpeculation:
+    def test_delayed_winner_gets_wasted_backup(self, fs):
+        expected = expected_output(fs)
+        recorder = TraceRecorder()
+        result = run_job(
+            fs,
+            word_count_conf(fs),
+            faults="7:crash=0.0,corrupt=0.0,delay=1.0",
+            max_attempts=2,
+            speculative=True,
+            observer=recorder,
+        )
+        assert sorted(fs.read_dir("out")) == expected
+        wasted = result.counters.value("faults", "speculative_wasted")
+        assert wasted == 1 + 3  # every task is delayed under delay=1.0
+        backups = [
+            s
+            for s in recorder.spans
+            if s.kind == "attempt" and s.attributes.get("speculative")
+        ]
+        assert len(backups) == wasted
+        assert not [
+            path for path in fs.list_prefix("out/") if "_temporary" in path
+        ]
+
+    def test_speculation_off_by_default(self, fs):
+        result = run_job(
+            fs,
+            word_count_conf(fs),
+            faults="7:crash=0.0,corrupt=0.0,delay=1.0",
+            max_attempts=2,
+        )
+        assert result.counters.value("faults", "speculative_wasted") == 0
+
+
+class TestResolution:
+    def test_inactive_by_default(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        monkeypatch.delenv(MAX_ATTEMPTS_ENV, raising=False)
+        monkeypatch.delenv(SPECULATIVE_ENV, raising=False)
+        resolved = resolve_faults()
+        assert not resolved.active
+        assert resolved.max_attempts == 1
+
+    def test_environment_is_consulted(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "42:crash=0.25")
+        monkeypatch.setenv(MAX_ATTEMPTS_ENV, "5")
+        monkeypatch.setenv(SPECULATIVE_ENV, "1")
+        resolved = resolve_faults()
+        assert resolved.active
+        assert resolved.plan.seed == 42
+        assert resolved.plan.crash_rate == 0.25
+        assert resolved.max_attempts == 5
+        assert resolved.speculative
+
+    def test_arguments_beat_environment(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "42")
+        monkeypatch.setenv(MAX_ATTEMPTS_ENV, "5")
+        resolved = resolve_faults(faults=7, max_attempts=2, speculative=False)
+        assert resolved.plan.seed == 7
+        assert resolved.max_attempts == 2
+        assert not resolved.speculative
+
+    def test_false_forces_injection_off(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "42")
+        resolved = resolve_faults(faults=False, max_attempts=1)
+        assert resolved.plan is None
+
+    def test_plan_implies_retry_budget(self):
+        assert resolve_faults(faults=42).max_attempts > 1
+
+    def test_jobconf_overrides_beat_arguments(self, fs):
+        conf = word_count_conf(fs, max_attempts=1)
+        plan = scripted(
+            "wordcount", "map", 0, 0, FaultEvent(CRASH, "setup")
+        )
+        with pytest.raises(FaultInjectedError):
+            run_job(fs, conf, faults=plan, max_attempts=4)
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(MapReduceError):
+            resolve_faults(faults=object())
+        with pytest.raises(MapReduceError):
+            resolve_faults(max_attempts=0)
+        monkeypatch.setenv(MAX_ATTEMPTS_ENV, "many")
+        with pytest.raises(MapReduceError):
+            resolve_faults()
+
+    def test_backoff_grows_and_caps(self):
+        resolved = ResolvedFaults(max_attempts=10)
+        values = [resolved.backoff_seconds(a) for a in range(1, 10)]
+        assert values == sorted(values)
+        assert values[0] == resolved.backoff_base
+        assert values[-1] == resolved.backoff_cap
+        assert resolved.backoff_seconds(0) == 0.0
+
+
+class TestWorkerPoolError:
+    def test_carries_job_phase_and_pending_tasks(self):
+        error = WorkerPoolError("join", "map", range(12), "worker died")
+        assert error.job == "join"
+        assert error.phase == "map"
+        assert error.pending_tasks == tuple(range(12))
+        message = str(error)
+        assert "join" in message and "map" in message
+        assert "worker died" in message
+        assert "12 total" in message  # long index lists are truncated
+        assert isinstance(error, MapReduceError)
+
+    def test_pool_map_wraps_broken_pool(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.mapreduce import runner
+
+        class BrokenPool:
+            def map(self, fn, payloads, chunksize=1):
+                raise BrokenProcessPool("boom")
+
+            def submit(self, fn, payload):
+                raise BrokenProcessPool("boom")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(runner, "_process_pool", lambda workers: BrokenPool())
+        with pytest.raises(WorkerPoolError) as excinfo:
+            runner._pool_map(str, [1, 2, 3], 2, "join", "map", [0, 1, 2])
+        assert excinfo.value.pending_tasks == (0, 1, 2)
+        with pytest.raises(WorkerPoolError) as excinfo:
+            runner._submit_attempt(str, 1, 2, "join", "reduce", 5)
+        assert excinfo.value.phase == "reduce"
+        assert excinfo.value.pending_tasks == (5,)
+
+    def test_fault_error_survives_pickling(self):
+        import pickle
+
+        error = FaultInjectedError(CRASH, "combiner")
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.kind, clone.point) == (CRASH, "combiner")
+        assert str(clone) == str(error)

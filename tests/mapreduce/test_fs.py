@@ -83,3 +83,64 @@ class TestLocalFileSystem:
         )
         fs.write("f", [(1, 2), (3, 4)])
         assert list(fs.read("f")) == [(1, 2), (3, 4)]
+
+
+class TestCommitProtocol:
+    """Hadoop-style two-phase task commit: stage under ``_temporary``,
+    promote the winner, discard everything else."""
+
+    def test_staged_attempt_invisible_to_readers(self, fs):
+        fs.append_partition("out", 0, [1, 2])
+        fs.write_attempt("out", 1, 0, [99])
+        assert sorted(fs.read_dir("out")) == [1, 2]
+        assert fs.count("out") == 2
+
+    def test_promote_publishes_part_file(self, fs):
+        fs.write_attempt("out", 3, 1, ["a", "b"])
+        dst = fs.promote_attempt("out", 3, 1)
+        assert dst == "out/part-00003"
+        assert list(fs.read("out/part-00003")) == ["a", "b"]
+        assert not fs.exists(fs.task_attempt_path("out", 3, 1))
+
+    def test_promote_discards_losing_attempts(self, fs):
+        fs.write_attempt("out", 0, 0, ["stale"])
+        fs.write_attempt("out", 0, 1, ["fresh"])
+        fs.promote_attempt("out", 0, 1)
+        assert sorted(fs.read_dir("out")) == ["fresh"]
+        assert not any(
+            "_temporary" in path for path in fs.list_prefix("out/")
+        )
+
+    def test_promote_missing_attempt_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.promote_attempt("out", 0, 0)
+
+    def test_discard_attempt(self, fs):
+        fs.write_attempt("out", 0, 0, [1])
+        fs.discard_attempt("out", 0, 0)
+        assert not fs.exists(fs.task_attempt_path("out", 0, 0))
+        fs.discard_attempt("out", 0, 0)  # idempotent
+
+    def test_rename_moves_and_replaces(self, fs):
+        fs.write("src", [1, 2])
+        fs.write("dst", [9])
+        fs.rename("src", "dst")
+        assert not fs.exists("src")
+        assert list(fs.read("dst")) == [1, 2]
+
+    def test_rename_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.rename("nope", "dst")
+
+    def test_hidden_components_filtered_everywhere(self, fs):
+        fs.write("out/part-00000", [1])
+        fs.write("out/_SUCCESS", ["marker"])
+        fs.write("out/_logs/history", ["log"])
+        assert sorted(fs.read_dir("out")) == [1]
+
+    def test_append_partition_routes_through_protocol(self, fs):
+        fs.append_partition("out", 0, [1, 2, 3])
+        assert list(fs.read("out/part-00000")) == [1, 2, 3]
+        assert not any(
+            "_temporary" in path for path in fs.list_prefix("out/")
+        )

@@ -171,9 +171,11 @@ class TestLifecycle:
             output="out",
             num_reduce_tasks=1,
         )
-        # Pinned to serial: the assertion watches parent-side mutation of
-        # the mapper instance, which a process worker cannot perform.
-        run_job(fs, conf, executor="serial")
+        # Pinned to serial and fault-free: the assertion watches
+        # parent-side mutation of the mapper instance, which neither a
+        # process worker nor a fault-mode attempt (each attempt runs a
+        # pristine deep copy) can perform.
+        run_job(fs, conf, executor="serial", faults=False)
         assert mapper.events == ["setup", "map", "map", "cleanup"]
 
     def test_multiple_inputs_under_processes(self):
