@@ -142,6 +142,19 @@ def main() -> None:
         for row in rows
     ]
     print(render_table("executor wall-clock (best of 3)", headers, table))
+    # One small observed run (outside the timing loops, so it cannot
+    # perturb them) attaches a metrics snapshot to the artifact.
+    from repro.obs import TraceRecorder
+
+    observer = TraceRecorder()
+    execute(
+        TWO_WAY,
+        make_data(("R1", "R2"), 800),
+        algorithm="two_way",
+        num_partitions=8,
+        executor="serial",
+        observer=observer,
+    )
     emit_bench_json(
         "executors",
         {
@@ -153,6 +166,7 @@ def main() -> None:
             ),
             "workloads": rows,
         },
+        metrics=observer.metrics,
     )
 
 

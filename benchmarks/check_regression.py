@@ -19,6 +19,11 @@ Two kinds of fields, two kinds of checks:
   ``num_keys``) come from the simulator's cost model and the data
   generators, not the host, so they must match the baseline exactly.
   A drift here is a correctness bug, never noise.
+* **Informational fields** (``executor``, ``workers``, ``metrics``,
+  ``note``) describe the measuring run and are never gated — old
+  baselines without them pass, and new baselines carrying them do not
+  fail runs from a different host.  Replication-factor drift has its own
+  dedicated gate, ``check_replication.py``.
 
 Usage::
 
@@ -52,6 +57,13 @@ EXACT_FIELDS = frozenset({"tuples", "rows", "modelled_seconds", "num_keys"})
 
 #: Fields compared with relative tolerance (host-dependent wall clock).
 WALL_SUFFIX = "_seconds"
+
+#: Fields that describe the run rather than measure it (executor label,
+#: worker count, metrics snapshots, free-form notes).  Never gated and
+#: never required: baselines recorded before these fields existed still
+#: pass, and baselines recorded with them do not fail fresh runs from a
+#: differently-provisioned host.
+INFORMATIONAL_FIELDS = frozenset({"executor", "workers", "metrics", "note"})
 
 
 class Comparison:
@@ -122,6 +134,8 @@ def _compare_mapping(
     tolerance: float,
 ) -> Iterable[Comparison]:
     for field, base_value in sorted(baseline.items()):
+        if field in INFORMATIONAL_FIELDS:
+            continue
         if field not in fresh:
             yield Comparison(
                 label, field, base_value, None, False, "missing from fresh run"

@@ -99,20 +99,23 @@ def run_algorithm(
     cost_model: Optional[CostModel] = None,
     grid_parts: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    observer: Optional[TraceRecorder] = None,
 ) -> JoinResult:
     """Execute one algorithm with benchmark-friendly defaults.
 
     When ``trace_dir`` (or ``$REPRO_TRACE_DIR``) names a directory, the
     run is observed and a Chrome trace-event artifact
-    ``<algorithm>-<seq>.trace.json`` is written there.
+    ``<algorithm>-<seq>.trace.json`` is written there.  Pass your own
+    ``observer`` instead to keep the recorder (spans, job results,
+    metrics) after the call; it wins over ``trace_dir``.
     """
     from repro.core.planner import ALGORITHMS
 
     from repro.core.validation import validate_result
 
     trace_dir = trace_dir or trace_artifact_dir()
-    observer = None
-    if trace_dir:
+    owns_observer = observer is None
+    if observer is None and trace_dir:
         trace_path = os.path.join(
             trace_dir, f"{algorithm}-{next(_TRACE_SEQ):03d}.trace.json"
         )
@@ -141,7 +144,7 @@ def run_algorithm(
             cost_model=cost_model or CostModel(),
             observer=observer,
         )
-    if observer is not None:
+    if observer is not None and owns_observer:
         observer.close()
     # Every benchmark run self-checks: tuples satisfy the query, no
     # duplicates (scales where the reference oracle cannot).
@@ -149,18 +152,34 @@ def run_algorithm(
     return result
 
 
-def emit_bench_json(name: str, payload: Dict[str, Any]) -> str:
+def emit_bench_json(
+    name: str, payload: Dict[str, Any], metrics: Optional[Any] = None
+) -> str:
     """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
 
     The file lands in ``$REPRO_BENCH_DIR`` (created if needed) or the
     current directory, and wraps ``payload`` in an envelope recording the
     environment the numbers were measured on — CPU count above all, since
-    parallel-executor speedups are meaningless without it.  Returns the
-    path written.
+    parallel-executor speedups are meaningless without it.  Every
+    artifact also records the resolved ``executor`` and ``workers`` the
+    numbers were measured with, and ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry` or its ``as_dict``
+    snapshot) attaches the run's metric families.  All three are
+    *informational* to ``check_regression.py`` — old baselines without
+    them still pass.  Returns the path written.
     """
+    from repro.mapreduce.runner import resolve_executor, resolve_workers
+
     directory = os.environ.get(BENCH_DIR_ENV, "").strip() or "."
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")
+    results = dict(payload)
+    results.setdefault("executor", resolve_executor(None))
+    results.setdefault("workers", resolve_workers(None))
+    if metrics is not None:
+        if hasattr(metrics, "as_dict"):
+            metrics = metrics.as_dict()
+        results["metrics"] = metrics
     document = {
         "benchmark": name,
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
@@ -170,7 +189,7 @@ def emit_bench_json(name: str, payload: Dict[str, Any]) -> str:
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
-        "results": payload,
+        "results": results,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

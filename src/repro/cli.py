@@ -12,8 +12,13 @@ Commands
     Execute an interval join query over relation files, print the metric
     summary, optionally write the output tuples — plus observability
     artifacts: ``--trace`` (Chrome trace-event or JSONL span log),
-    ``--history`` (JobHistory JSON + totals) and ``--report`` (skew /
-    straggler / empty-task diagnosis).
+    ``--history`` (JobHistory JSON + totals), ``--report`` (skew /
+    straggler / empty-task diagnosis), ``--metrics`` / ``--metrics-out``
+    (metric summary, JSON or Prometheus text) and ``--html`` (one
+    self-contained dashboard page).
+``report``
+    Rebuild the HTML dashboard from a saved JSONL span trace (plus an
+    optional ``--metrics`` JSON snapshot) after the run is gone.
 ``histogram``
     The exact Allen-relationship histogram between two relations.
 
@@ -154,6 +159,28 @@ def build_parser() -> argparse.ArgumentParser:
                      "and print its totals")
     run.add_argument("--report", action="store_true",
                      help="print the skew/straggler/empty-task run report")
+    run.add_argument("--metrics", action="store_true",
+                     help="print the run's metric summary (counters, "
+                     "gauges, histogram quantiles)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the metric families as JSON "
+                     "(*.prom writes Prometheus text exposition instead)")
+    run.add_argument("--html", default=None, metavar="PATH",
+                     help="write a self-contained HTML run dashboard")
+
+    report = sub.add_parser(
+        "report",
+        help="rebuild reports from a recorded JSONL span trace",
+    )
+    report.add_argument("trace", help="JSONL span trace (repro run "
+                        "--trace T.jsonl --trace-format jsonl)")
+    report.add_argument("--metrics", default=None, metavar="JSON",
+                        help="metrics snapshot from --metrics-out, folded "
+                        "into the dashboard tables")
+    report.add_argument("--html", default=None, metavar="PATH",
+                        help="write the self-contained HTML dashboard here")
+    report.add_argument("--title", default=None,
+                        help="dashboard title (default: the trace path)")
 
     hist = sub.add_parser(
         "histogram", help="Allen-relationship histogram of two relations"
@@ -234,7 +261,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executor = resolve_executor(args.executor)
     workers = resolve_workers(args.workers)
     observer = None
-    if args.trace or args.history or args.report:
+    if (
+        args.trace
+        or args.history
+        or args.report
+        or args.metrics
+        or args.metrics_out
+        or args.html
+    ):
         from repro.obs import TraceRecorder, open_sink
 
         sinks = [open_sink(args.trace, args.trace_format)] if args.trace else []
@@ -298,6 +332,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import RunReport
 
         print(RunReport.from_recorder(observer).render())
+    if args.metrics:
+        print(observer.metrics.summary())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            if args.metrics_out.endswith(".prom"):
+                handle.write(observer.metrics.to_prometheus())
+            else:
+                handle.write(observer.metrics.to_json())
+                handle.write("\n")
+        print(f"metrics:    {args.metrics_out}")
+    if args.html:
+        from repro.obs import dashboard_from_recorder
+
+        page = dashboard_from_recorder(observer, title=f"repro run: {query}")
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"dashboard:  {args.html}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_spans_jsonl, render_dashboard
+
+    spans = load_spans_jsonl(args.trace)
+    metrics = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    title = args.title or f"repro trace: {args.trace}"
+    jobs = [span for span in spans if span.kind == "job"]
+    print(f"trace:      {args.trace}")
+    print(f"spans:      {len(spans)} ({len(jobs)} jobs)")
+    if args.html:
+        page = render_dashboard(spans, metrics, title=title)
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"dashboard:  {args.html}")
     return 0
 
 
@@ -323,6 +394,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "trace": _cmd_trace,
     "run": _cmd_run,
+    "report": _cmd_report,
     "histogram": _cmd_histogram,
 }
 

@@ -159,4 +159,12 @@ class AllReplicate(JoinAlgorithm):
         pipeline.run(job)
 
         tuples = list(file_system.read_dir("allrep/output"))
-        return self._finish(query, pipeline, cost_model, tuples)
+        return self._finish(
+            query, pipeline, cost_model, tuples,
+            shape={
+                "partition_intervals": len(parts),
+                "replicated_relations": len(query.relations)
+                - (1 if projected is not None else 0),
+                "cycles": 1,
+            },
+        )

@@ -31,7 +31,61 @@ from repro.mapreduce.fs import FileSystem, InMemoryFileSystem
 from repro.mapreduce.pipeline import Pipeline
 from repro.obs.recorder import TraceRecorder
 
-__all__ = ["JoinAlgorithm", "build_partitioning", "input_path", "write_inputs"]
+__all__ = [
+    "JoinAlgorithm",
+    "build_partitioning",
+    "input_path",
+    "record_algorithm_metrics",
+    "write_inputs",
+]
+
+
+def record_algorithm_metrics(
+    observer: Optional[TraceRecorder], metrics: ExecutionMetrics
+) -> None:
+    """Surface one algorithm run's paper-level numbers as gauges.
+
+    Replication factor and (for grid algorithms) the consistent-vs-total
+    reducer utilisation are what Sections 6–7 of the paper compare
+    algorithms by; composite algorithms (FCTS/FSTC) call this directly
+    with their combined metrics.
+    """
+    if observer is None:
+        return
+    registry = observer.metrics
+    registry.gauge(
+        "repro_algorithm_replication_factor",
+        "Map-output pairs per input record over the whole algorithm "
+        "(all cycles).",
+        labels=("algorithm",),
+    ).set(metrics.replication_factor, algorithm=metrics.algorithm)
+    if metrics.consistent_reducers is not None and metrics.total_reducers:
+        reducers = registry.gauge(
+            "repro_grid_reducers",
+            "Grid reducers by kind: consistent (receive data) vs total "
+            "(all grid cells).",
+            labels=("algorithm", "kind"),
+        )
+        reducers.set(
+            metrics.consistent_reducers,
+            algorithm=metrics.algorithm,
+            kind="consistent",
+        )
+        reducers.set(
+            metrics.total_reducers, algorithm=metrics.algorithm, kind="total"
+        )
+        registry.gauge(
+            "repro_grid_utilisation",
+            "Consistent reducers as a fraction of the full grid.",
+            labels=("algorithm",),
+        ).set(metrics.grid_utilisation or 0.0, algorithm=metrics.algorithm)
+    for dimension, value in sorted(metrics.shape.items()):
+        registry.gauge(
+            "repro_algorithm_shape",
+            "Algorithm-declared shape metadata (grid dims, stages, "
+            "partition intervals).",
+            labels=("algorithm", "dimension"),
+        ).set(value, algorithm=metrics.algorithm, dimension=dimension)
 
 
 def input_path(relation: str) -> str:
@@ -196,11 +250,22 @@ class JoinAlgorithm(abc.ABC):
         tuples: Sequence[Tuple[Row, ...]],
         consistent_reducers: Optional[int] = None,
         total_reducers: Optional[int] = None,
+        shape: Optional[Mapping[str, int]] = None,
     ) -> JoinResult:
-        """Common postamble: fold pipeline counters into a result."""
+        """Common postamble: fold pipeline counters into a result.
+
+        ``shape`` is the algorithm's self-description — grid dimensions,
+        cascade stages, partition-interval counts — surfaced on
+        :class:`ExecutionMetrics` and, when the run is observed, as
+        ``repro_algorithm_shape`` gauges for the dashboard's reducer
+        utilisation table.
+        """
         metrics = ExecutionMetrics.from_pipeline(
             self.name, pipeline.result, cost_model
         )
         metrics.consistent_reducers = consistent_reducers
         metrics.total_reducers = total_reducers
+        if shape:
+            metrics.shape = dict(shape)
+        record_algorithm_metrics(pipeline.observer, metrics)
         return JoinResult(query, tuples, metrics)

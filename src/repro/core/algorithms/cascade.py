@@ -415,7 +415,14 @@ class TwoWayCascade(JoinAlgorithm):
             for relation, row in partial:
                 ordered[by_relation[relation]] = row
             tuples.append(tuple(ordered))
-        return self._finish(query, pipeline, cost_model, tuples)
+        return self._finish(
+            query, pipeline, cost_model, tuples,
+            shape={
+                "cascade_steps": len(order) - 1,
+                "partition_intervals": len(parts),
+                "grid_side": grid_o,
+            },
+        )
 
     # ------------------------------------------------------------------
     def _bound_member(self, routing: JoinCondition, new: str) -> Tuple[str, str, bool]:

@@ -660,6 +660,11 @@ class GenMatrix(JoinAlgorithm):
             tuples,
             consistent_reducers=len(grid.cells),
             total_reducers=grid.total_cells,
+            shape={
+                "grid_dimensions": grid.dimensions,
+                "consistent_cells": len(grid.cells),
+                "total_cells": grid.total_cells,
+            },
         )
 
 

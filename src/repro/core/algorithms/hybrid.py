@@ -18,7 +18,11 @@ from collections import defaultdict
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError, UnsatisfiableQueryError
-from repro.core.algorithms.base import JoinAlgorithm, input_path
+from repro.core.algorithms.base import (
+    JoinAlgorithm,
+    input_path,
+    record_algorithm_metrics,
+)
 from repro.core.algorithms.cascade import (
     PartialTuple,
     _NEW_SIDE,
@@ -317,6 +321,13 @@ class FCTS(JoinAlgorithm):
         metrics.output_records = len(tuples)
         metrics.consistent_reducers = len(grid.cells)
         metrics.total_reducers = grid.total_cells
+        metrics.shape = {
+            "grid_dimensions": grid.dimensions,
+            "consistent_cells": len(grid.cells),
+            "total_cells": grid.total_cells,
+            "colocation_subjoins": len(sub_metrics),
+        }
+        record_algorithm_metrics(observer, metrics)
         return JoinResult(query, tuples, metrics)
 
 
@@ -496,4 +507,9 @@ class FSTC(JoinAlgorithm):
             self.name, [seq_result.metrics, cascade_metrics]
         )
         metrics.output_records = len(tuples)
+        metrics.shape = {
+            "partition_intervals": len(parts),
+            "colocation_steps": step,
+        }
+        record_algorithm_metrics(observer, metrics)
         return JoinResult(query, tuples, metrics)

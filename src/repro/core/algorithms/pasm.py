@@ -302,5 +302,11 @@ class PASM(JoinAlgorithm):
             tuples,
             consistent_reducers=len(grid.cells),
             total_reducers=grid.total_cells,
+            shape={
+                "grid_dimensions": grid.dimensions,
+                "consistent_cells": len(grid.cells),
+                "total_cells": grid.total_cells,
+                "cycles": 3,
+            },
         )
         return result

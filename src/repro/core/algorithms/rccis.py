@@ -269,4 +269,7 @@ class RCCIS(JoinAlgorithm):
         pipeline.run(join_job)
 
         tuples = list(file_system.read_dir("rccis/output"))
-        return self._finish(query, pipeline, cost_model, tuples)
+        return self._finish(
+            query, pipeline, cost_model, tuples,
+            shape={"partition_intervals": len(parts), "cycles": 2},
+        )

@@ -128,4 +128,7 @@ class TwoWayJoin(JoinAlgorithm):
         )
         pipeline.run(job)
         tuples = list(file_system.read_dir("twoway/output"))
-        return self._finish(query, pipeline, cost_model, tuples)
+        return self._finish(
+            query, pipeline, cost_model, tuples,
+            shape={"partition_intervals": len(parts), "cycles": 1},
+        )

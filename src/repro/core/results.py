@@ -50,6 +50,10 @@ class ExecutionMetrics:
     tasks_retried: int = 0
     #: speculative backup attempts whose output was discarded.
     speculative_wasted: int = 0
+    #: algorithm-specific shape metadata (grid dimensions, cascade
+    #: stages, partition counts) — what the dashboard's utilisation
+    #: table is built from.
+    shape: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_pipeline(
@@ -110,6 +114,22 @@ class ExecutionMetrics:
         if parts:
             merged.output_records = parts[-1].output_records
         return merged
+
+    @property
+    def replication_factor(self) -> float:
+        """Intermediate pairs emitted per input record read — the
+        paper's communication-cost headline (Section 6)."""
+        if not self.records_read:
+            return 0.0
+        return self.map_output_records / self.records_read
+
+    @property
+    def grid_utilisation(self) -> Optional[float]:
+        """Consistent reducers as a fraction of the total grid (grid
+        algorithms only; ``None`` elsewhere)."""
+        if self.consistent_reducers is None or not self.total_reducers:
+            return None
+        return self.consistent_reducers / self.total_reducers
 
     @property
     def max_reducer_load(self) -> int:

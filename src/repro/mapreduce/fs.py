@@ -40,6 +40,23 @@ __all__ = ["FileSystem", "InMemoryFileSystem", "LocalFileSystem"]
 class FileSystem(abc.ABC):
     """Abstract record-oriented file system."""
 
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when a run
+    #: is observed, ``run_job`` points this at the observer's registry so
+    #: the commit protocol reports staged/promoted/discarded attempts.
+    metrics: Optional[Any] = None
+
+    def _count_commit(self, event: str) -> None:
+        if self.metrics is None:
+            return
+        # Attempt traffic varies under chaos (failed attempts stage and
+        # discard extra files), so it lives in the "faults" group.
+        self.metrics.counter(
+            "repro_fs_attempts_total",
+            "Commit-protocol attempt files staged/promoted/discarded.",
+            labels=("event",),
+            group="faults",
+        ).inc(1, event=event)
+
     @abc.abstractmethod
     def write(
         self, path: str, records: Iterable[Any], overwrite: bool = False
@@ -89,11 +106,13 @@ class FileSystem(abc.ABC):
         staged path.  Invisible to :meth:`read_dir` until promoted."""
         path = self.task_attempt_path(base, index, attempt)
         self.write(path, records, overwrite=True)
+        self._count_commit("staged")
         return path
 
     def discard_attempt(self, base: str, index: int, attempt: int) -> None:
         """Drop one staged attempt (failed or speculative loser)."""
         self.delete(self.task_attempt_path(base, index, attempt))
+        self._count_commit("discarded")
 
     def promote_attempt(self, base: str, index: int, attempt: int) -> str:
         """Commit one staged attempt as ``part-NNNNN``.
@@ -111,6 +130,7 @@ class FileSystem(abc.ABC):
         self.rename(src, dst)
         for leftover in self.list_prefix(f"{base}/_temporary/task-{index:05d}/"):
             self.delete(leftover)
+        self._count_commit("promoted")
         return dst
 
     # ------------------------------------------------------------------

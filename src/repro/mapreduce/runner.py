@@ -91,8 +91,9 @@ from repro.faults import (
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
-from repro.mapreduce.shuffle import shuffle
+from repro.mapreduce.shuffle import partition_stats, shuffle
 from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
+from repro.obs.metrics import GROUP_FAULTS, LOAD_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.cost import CostModel
@@ -364,6 +365,128 @@ def _reduce_span_attrs(
 
 
 # ----------------------------------------------------------------------
+# Metric recording (parent side).  Only winning attempts record, so the
+# "run"-group families are invariant under fault injection; increments
+# are commutative, so the "threads" executor's concurrent recording
+# yields the same samples as serial execution.
+# ----------------------------------------------------------------------
+
+def _record_map_task_metrics(
+    observer: Optional["TraceRecorder"],
+    job: str,
+    input_path: str,
+    task_counters: Counters,
+    task_pairs: Sequence[Any],
+) -> None:
+    """Per-map-task tuple in/out, labelled by input relation path.
+
+    The in/out ratio per input is the paper's *replication factor* of
+    that relation: intermediate tuples emitted per distinct input tuple.
+    """
+    if observer is None:
+        return
+    records = observer.metrics.counter(
+        "repro_map_records_total",
+        "Records entering (direction=in) and pairs leaving "
+        "(direction=out) map tasks, per input relation.",
+        labels=("job", "input", "direction"),
+    )
+    reads = task_counters.value("framework", "map_input_records")
+    records.inc(reads, job=job, input=input_path, direction="in")
+    records.inc(len(task_pairs), job=job, input=input_path, direction="out")
+
+
+def _record_reduce_task_metrics(
+    observer: Optional["TraceRecorder"],
+    job: str,
+    task_counters: Counters,
+    output: Sequence[Any],
+) -> None:
+    """Per-reduce-task tuple in/out plus the per-reducer load histogram."""
+    if observer is None:
+        return
+    metrics = observer.metrics
+    load = task_counters.value("framework", "reduce_input_records")
+    records = metrics.counter(
+        "repro_reduce_records_total",
+        "Records entering (direction=in) and leaving (direction=out) "
+        "reduce tasks.",
+        labels=("job", "direction"),
+    )
+    records.inc(load, job=job, direction="in")
+    records.inc(len(output), job=job, direction="out")
+    metrics.histogram(
+        "repro_reduce_task_load",
+        "Distribution of physical reduce-task input loads (records).",
+        labels=("job",),
+        buckets=LOAD_BUCKETS,
+    ).observe(load, job=job)
+
+
+def _record_job_metrics(
+    observer: Optional["TraceRecorder"],
+    conf: JobConf,
+    pairs: Sequence[Any],
+    tasks: Sequence[Any],
+    logical_loads: Dict[Hashable, int],
+    counters: Counters,
+) -> None:
+    """Job-level shuffle, skew, replication and fault metrics."""
+    if observer is None:
+        return
+    metrics = observer.metrics
+    shuffled = metrics.counter(
+        "repro_shuffle_records_total",
+        "Intermediate pairs routed through the shuffle.",
+        labels=("job",),
+    )
+    shuffled.inc(len(pairs), job=conf.name)
+    partition_records = metrics.gauge(
+        "repro_shuffle_partition_records",
+        "Records routed to each physical reduce partition.",
+        labels=("job", "partition"),
+    )
+    partition_bytes = metrics.gauge(
+        "repro_shuffle_partition_repr_bytes",
+        "Bytes-ish (UTF-8 repr size) routed to each reduce partition — "
+        "the paper's communication-cost proxy.",
+        labels=("job", "partition"),
+    )
+    for stat in partition_stats(tasks):
+        label = f"{stat.index:05d}"
+        partition_records.set(stat.records, job=conf.name, partition=label)
+        partition_bytes.set(stat.repr_bytes, job=conf.name, partition=label)
+    key_skew = metrics.histogram(
+        "repro_key_load",
+        "Per-logical-reducer (distinct intermediate key) load "
+        "distribution — the key-skew histogram.",
+        labels=("job",),
+        buckets=LOAD_BUCKETS,
+    )
+    for load in logical_loads.values():
+        key_skew.observe(load, job=conf.name)
+    reads = counters.value("framework", "map_input_records")
+    emitted = counters.value("framework", "map_output_records")
+    if reads:
+        metrics.gauge(
+            "repro_replication_factor",
+            "Map-output pairs emitted per input record of the job "
+            "(tuples emitted / distinct input tuples).",
+            labels=("job",),
+        ).set(emitted / reads, job=conf.name)
+    faults_total = metrics.counter(
+        "repro_faults_total",
+        "Fault-injection bookkeeping: failed/retried/speculative "
+        "attempts per job.",
+        labels=("job", "kind"),
+        group=GROUP_FAULTS,
+    )
+    for kind, value in sorted(counters.as_dict().get(FAULTS_GROUP, {}).items()):
+        if value:
+            faults_total.inc(value, job=conf.name, kind=kind)
+
+
+# ----------------------------------------------------------------------
 # In-process task wrappers (serial + threads): the span is recorded live
 # around the task body, parented explicitly so worker threads attach to
 # the right phase span.
@@ -394,6 +517,9 @@ def _run_map_task_traced(
         )
         span.counters = task_counters.delta({})
         span.annotate(**_map_span_attrs(task_counters, task_pairs, cost_model))
+        _record_map_task_metrics(
+            observer, job_name, spec.path, task_counters, task_pairs
+        )
         return task_pairs, task_counters
 
 
@@ -424,6 +550,7 @@ def _run_reduce_task(
         output, counters = _reduce_task_core(conf.reducer, task_index, groups)
         span.counters = counters.snapshot()
         span.annotate(**_reduce_span_attrs(counters, output, cost_model))
+        _record_reduce_task_metrics(observer, conf.name, counters, output)
         return output, counters
 
 
@@ -515,6 +642,9 @@ def _run_map_tasks_processes(
                 task_index=index,
                 **_map_span_attrs(task_counters, task_pairs, cost_model),
             )
+            _record_map_task_metrics(
+                observer, conf.name, spec.path, task_counters, task_pairs
+            )
         results.append((task_pairs, task_counters))
     return results
 
@@ -548,6 +678,9 @@ def _run_reduce_tasks_processes(
                 phase="reduce",
                 task_index=index,
                 **_reduce_span_attrs(task_counters, output, cost_model),
+            )
+            _record_reduce_task_metrics(
+                observer, conf.name, task_counters, output
             )
         results.append((output, task_counters))
     return results
@@ -659,6 +792,7 @@ def _run_task_attempts(
     counters_view: Callable[[Counters], Dict[str, Dict[str, int]]],
     stage: Optional[Callable[[Any, int], None]] = None,
     discard: Optional[Callable[[int], None]] = None,
+    metrics_fn: Optional[Callable[[Counters, Any], None]] = None,
 ) -> _TaskOutcome:
     """Run one task to success within its retry budget.
 
@@ -744,6 +878,10 @@ def _run_task_attempts(
                 counters=counters_view(task_counters),
                 **attrs,
             )
+            if metrics_fn is not None:
+                # Winner only: failed attempts never reach the metrics,
+                # keeping the "run" group chaos-invariant.
+                metrics_fn(task_counters, result)
         return _TaskOutcome(
             result, task_counters, fault_counters, attempt, delay > 0
         )
@@ -867,6 +1005,9 @@ def _run_map_phase_faulted(
                 parent=phase_span,
                 attrs_fn=lambda c, r: _map_span_attrs(c, r, cost_model),
                 counters_view=lambda c: c.delta({}),
+                metrics_fn=lambda c, r, path=spec.path: (
+                    _record_map_task_metrics(observer, conf.name, path, c, r)
+                ),
             )
 
         if executor == "serial":
@@ -965,6 +1106,9 @@ def _run_reduce_phase_faulted(
             discard=lambda attempt: fs.discard_attempt(
                 conf.output, index, attempt
             ),
+            metrics_fn=lambda c, r: _record_reduce_task_metrics(
+                observer, conf.name, c, r
+            ),
         )
 
     if executor == "serial":
@@ -1061,6 +1205,10 @@ def run_job(
     if not conf.inputs:
         raise MapReduceError(f"job {conf.name!r} has no inputs")
     counters = Counters()
+    # The commit protocol reports through the observer's registry for
+    # the duration of this job; cleared when running unobserved so a
+    # later unobserved run never writes into a stale registry.
+    fs.metrics = observer.metrics if observer is not None else None
 
     job_attrs: Dict[str, Any] = {}
     if fctx.active:
@@ -1175,6 +1323,9 @@ def run_job(
             task_outputs.append(len(records))
             task_comparisons.append(task_counters.value("work", "comparisons"))
 
+        _record_job_metrics(
+            observer, conf, pairs, tasks, logical_loads, counters
+        )
         result = JobResult(
             name=conf.name,
             counters=counters,

@@ -28,14 +28,17 @@ from __future__ import annotations
 import abc
 import zlib
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "Partitioner",
     "HashPartitioner",
     "RoundRobinKeyPartitioner",
+    "PartitionStat",
     "stable_hash",
     "shuffle",
+    "partition_stats",
 ]
 
 
@@ -135,3 +138,37 @@ def shuffle(
             )
         tasks[index].append((key, grouped[key]))
     return tasks
+
+
+@dataclass(frozen=True)
+class PartitionStat:
+    """Communication-cost facts of one shuffled reduce partition.
+
+    ``repr_bytes`` is the paper's "communication cost" proxy: the UTF-8
+    size of the canonical ``repr`` of every key and value routed to the
+    partition.  Not wire bytes — there is no wire — but a deterministic,
+    executor-independent stand-in that orders algorithms the same way
+    real serialisation would.
+    """
+
+    index: int
+    records: int
+    groups: int
+    repr_bytes: int
+
+
+def partition_stats(
+    tasks: Sequence[Sequence[Tuple[Hashable, List[Any]]]],
+) -> List[PartitionStat]:
+    """Per-partition record/group/repr-size stats of a shuffle result."""
+    stats: List[PartitionStat] = []
+    for index, groups in enumerate(tasks):
+        records = 0
+        repr_bytes = 0
+        for key, values in groups:
+            records += len(values)
+            repr_bytes += len(repr(key).encode("utf-8"))
+            for value in values:
+                repr_bytes += len(repr(value).encode("utf-8"))
+        stats.append(PartitionStat(index, records, len(groups), repr_bytes))
+    return stats

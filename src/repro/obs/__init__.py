@@ -12,13 +12,28 @@ wall-clock duration, counter deltas, and cost-model charges.
 * sinks — :class:`InMemorySink` (tests), :class:`JsonlSink` (event
   log), :class:`ChromeTraceSink` (load the file in Perfetto or
   ``chrome://tracing``)
+* metrics — :class:`MetricsRegistry` on ``recorder.metrics``:
+  counters/gauges/histograms with Prometheus-text and JSON export,
+  recording per-phase wall time, tuple in/out, shuffle bytes-ish,
+  replication factor, grid utilisation and key-skew histograms
 * analysis — :class:`RunReport` flags skewed reducers, stragglers and
   empty-output tasks using the Section-7 load statistics
+* dashboard — :func:`render_dashboard` emits one self-contained HTML
+  page (``repro report --html``) with phase timelines, reducer-load
+  charts and the replication/skew tables
 
 Observation is strictly passive: with no observer attached nothing is
 recorded and results, counters and benchmark numbers are unchanged.
 """
 
+from repro.obs.dashboard import dashboard_from_recorder, render_dashboard
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
 from repro.obs.recorder import TraceRecorder
 from repro.obs.report import FaultSummary, JobLoadSummary, RunReport, TaskFlag
 from repro.obs.sinks import (
@@ -26,6 +41,7 @@ from repro.obs.sinks import (
     InMemorySink,
     JsonlSink,
     TraceSink,
+    load_spans_jsonl,
     open_sink,
 )
 from repro.obs.span import Span
@@ -38,8 +54,16 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "open_sink",
+    "load_spans_jsonl",
     "RunReport",
     "FaultSummary",
     "JobLoadSummary",
     "TaskFlag",
+    "MetricsRegistry",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_dashboard",
+    "dashboard_from_recorder",
 ]

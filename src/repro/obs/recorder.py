@@ -19,6 +19,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
+from repro.obs.metrics import SECONDS_BUCKETS, GROUP_WALL, MetricsRegistry
 from repro.obs.span import Span
 
 __all__ = ["TraceRecorder"]
@@ -53,6 +54,9 @@ class TraceRecorder:
         self.roots: List[Span] = []
         #: JobResult of every job run under this recorder.
         self.job_results: List[Any] = []
+        #: The run's metric families; instrumented code records through
+        #: ``observer.metrics`` whenever an observer is attached.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -170,6 +174,37 @@ class TraceRecorder:
             self.spans.append(span)
             for sink in self._sinks:
                 sink.emit(span)
+        self._observe_wall(span)
+
+    def _observe_wall(self, span: Span) -> None:
+        """Fold phase/job wall time into the ``wall`` metric group.
+
+        Every phase and job span closes through :meth:`end_span`
+        regardless of executor, which makes this the one choke point
+        where wall-clock histograms stay complete for free.
+        """
+        if span.kind == "phase":
+            self.metrics.histogram(
+                "repro_phase_wall_seconds",
+                "Wall-clock seconds spent in each job phase.",
+                labels=("job", "phase"),
+                group=GROUP_WALL,
+                buckets=SECONDS_BUCKETS,
+            ).observe(
+                span.duration,
+                job=span.attributes.get("job", span.name),
+                phase=span.name,
+            )
+        elif span.kind == "job":
+            self.metrics.histogram(
+                "repro_job_wall_seconds",
+                "Wall-clock seconds per MapReduce job.",
+                labels=("job",),
+                group=GROUP_WALL,
+                buckets=SECONDS_BUCKETS,
+            ).observe(
+                span.duration, job=span.attributes.get("job", span.name)
+            )
 
     # ------------------------------------------------------------------
     def record_job(self, result: Any) -> None:

@@ -25,7 +25,15 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.span import Span
 from repro.stats.metrics import LoadBalance, load_balance
@@ -79,12 +87,20 @@ class FaultSummary:
 
 @dataclass
 class JobLoadSummary:
-    """Per-job load-balance diagnosis."""
+    """Per-job load-balance diagnosis.
+
+    ``hot_keys`` holds the top-k hottest logical reducer keys of the
+    job's shuffle (``(repr(key), records)``, hottest first — the
+    Figure-4 tail, named); ``replication`` is the job's replication
+    factor (map output records ÷ map input records).
+    """
 
     name: str
     balance: LoadBalance
     skewed: bool
     hot_tasks: List[int] = field(default_factory=list)
+    hot_keys: List[Tuple[str, int]] = field(default_factory=list)
+    replication: float = 0.0
 
 
 class RunReport:
@@ -116,6 +132,7 @@ class RunReport:
         fairness_threshold: float = 0.5,
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 0.0,
+        top_keys: int = 5,
     ) -> "RunReport":
         """Analyse everything a :class:`TraceRecorder` observed."""
         return cls.from_observations(
@@ -125,6 +142,7 @@ class RunReport:
             fairness_threshold=fairness_threshold,
             straggler_factor=straggler_factor,
             min_straggler_seconds=min_straggler_seconds,
+            top_keys=top_keys,
         )
 
     @classmethod
@@ -137,6 +155,7 @@ class RunReport:
         fairness_threshold: float = 0.5,
         straggler_factor: float = 3.0,
         min_straggler_seconds: float = 0.0,
+        top_keys: int = 5,
     ) -> "RunReport":
         """Analyse job results plus (optionally) their recorded spans."""
         jobs: List[JobLoadSummary] = []
@@ -149,7 +168,11 @@ class RunReport:
                 or balance.fairness < fairness_threshold
             )
             summary = JobLoadSummary(
-                name=result.name, balance=balance, skewed=skewed
+                name=result.name,
+                balance=balance,
+                skewed=skewed,
+                hot_keys=cls._hot_keys(result, top_keys),
+                replication=cls._replication(result),
             )
             if skewed and balance.mean_load > 0:
                 for index, load in enumerate(loads):
@@ -191,6 +214,29 @@ class RunReport:
             )
         )
         return cls(jobs, flags, cls._fault_summary(job_results, spans))
+
+    @staticmethod
+    def _hot_keys(result: "JobResult", top_keys: int) -> List[Tuple[str, int]]:
+        """Top-k hottest logical reducer keys, deterministically ordered
+        by (descending load, ``repr(key)``)."""
+        if top_keys <= 0:
+            return []
+        ranked = sorted(
+            (
+                (repr(key), load)
+                for key, load in result.logical_reducer_loads.items()
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:top_keys]
+
+    @staticmethod
+    def _replication(result: "JobResult") -> float:
+        """Map output ÷ map input records — the per-job replication
+        factor of Tables 1-3 (0.0 for jobs that read nothing)."""
+        reads = result.counters.value("framework", "map_input_records")
+        emitted = result.counters.value("framework", "map_output_records")
+        return emitted / reads if reads else 0.0
 
     @staticmethod
     def _fault_summary(
@@ -263,6 +309,41 @@ class RunReport:
         """Job summaries whose load distribution crossed a threshold."""
         return [job for job in self.jobs if job.skewed]
 
+    @property
+    def replication_factors(self) -> Dict[str, float]:
+        """Per-job replication factor (``job name -> factor``)."""
+        return {job.name: job.replication for job in self.jobs}
+
+    def check_replication(
+        self,
+        baseline: Mapping[str, float],
+        tolerance: float = 0.05,
+    ) -> List[str]:
+        """Flag jobs whose replication factor drifted from ``baseline``.
+
+        ``baseline`` maps job names to expected factors (e.g. the stored
+        ``benchmarks/replication_baseline.json``); a job regresses when
+        ``|observed - expected| > tolerance * max(expected, 1)``.  Jobs
+        absent from the baseline are ignored (new jobs are not
+        regressions); returns human-readable flag strings, empty when
+        everything is within tolerance.
+        """
+        flags: List[str] = []
+        observed = self.replication_factors
+        for name in sorted(baseline):
+            if name not in observed:
+                continue
+            expected = float(baseline[name])
+            actual = observed[name]
+            allowed = tolerance * max(expected, 1.0)
+            if abs(actual - expected) > allowed:
+                flags.append(
+                    f"replication regression in job {name}: "
+                    f"expected {expected:.4f} +/- {allowed:.4f}, "
+                    f"observed {actual:.4f}"
+                )
+        return flags
+
     def flags_for(
         self, reason: Optional[str] = None, job: Optional[str] = None
     ) -> List[TaskFlag]:
@@ -283,9 +364,16 @@ class RunReport:
             lines.append(
                 f"  job {job.name}: {b.reducers} reduce tasks, "
                 f"max={b.max_load}, mean={b.mean_load:.1f}, "
-                f"imbalance={b.imbalance:.2f}, Jain={b.fairness:.3f}"
-                f"{marker}"
+                f"p50={b.p50:.0f}, p95={b.p95:.0f}, "
+                f"imbalance={b.imbalance:.2f}, gini={b.gini:.3f}, "
+                f"Jain={b.fairness:.3f}, "
+                f"replication={job.replication:.2f}{marker}"
             )
+            if job.hot_keys:
+                hottest = ", ".join(
+                    f"{key}={load}" for key, load in job.hot_keys
+                )
+                lines.append(f"    hottest keys: {hottest}")
         if self.faults.any_faults:
             f = self.faults
             lines.append(

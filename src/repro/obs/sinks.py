@@ -29,6 +29,7 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "open_sink",
+    "load_spans_jsonl",
 ]
 
 
@@ -139,6 +140,22 @@ class ChromeTraceSink(TraceSink):
         }
         with open(self.path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, default=str)
+
+
+def load_spans_jsonl(path: str) -> List[Span]:
+    """Read a :class:`JsonlSink` trace back into :class:`Span` objects.
+
+    What ``repro report`` uses to rebuild a dashboard from a trace
+    artifact after the run is gone.  Blank lines are skipped; children
+    lists stay empty (the file is flat, ``parent`` ids carry the tree).
+    """
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
 
 
 def open_sink(path: str, fmt: str) -> TraceSink:

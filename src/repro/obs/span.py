@@ -108,6 +108,23 @@ class Span:
             "counters": self.counters,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (children are not
+        reconstructed — JSONL traces are flat; use ``parent`` ids to
+        re-link if a tree is needed)."""
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            span_id=payload["id"],
+            parent_id=payload.get("parent"),
+            start=payload["start"],
+            end=payload.get("end"),
+            thread_id=payload.get("thread", 0),
+            attributes=dict(payload.get("attributes") or {}),
+            counters=dict(payload.get("counters") or {}),
+        )
+
     def render(self, indent: int = 0) -> str:
         """An indented one-line-per-span rendering of the subtree."""
         line = (

@@ -1,14 +1,22 @@
 """Measurement post-processing: load-balance statistics and the ASCII
 table renderer used by the benchmark harness."""
 
-from repro.stats.metrics import LoadBalance, jain_fairness, load_balance
+from repro.stats.metrics import (
+    LoadBalance,
+    gini,
+    jain_fairness,
+    load_balance,
+    percentile,
+)
 from repro.stats.reporting import human_count, human_seconds, render_table
 
 __all__ = [
     "LoadBalance",
+    "gini",
     "human_count",
     "human_seconds",
     "jain_fairness",
     "load_balance",
+    "percentile",
     "render_table",
 ]

@@ -12,7 +12,45 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
-__all__ = ["LoadBalance", "load_balance", "jain_fairness"]
+__all__ = [
+    "LoadBalance",
+    "load_balance",
+    "jain_fairness",
+    "gini",
+    "percentile",
+]
+
+
+def gini(loads: Sequence[float]) -> float:
+    """Gini coefficient of a load distribution: 0 = perfectly even,
+    →1 = all load on one reducer.
+
+    Uses the sorted-rank identity
+    ``G = (2 * sum(i * x_i) / (n * sum x)) - (n + 1) / n``
+    with 1-based ranks over the ascending-sorted loads.
+    """
+    values = sorted(x for x in loads if x >= 0)
+    n = len(values)
+    total = sum(values)
+    if n == 0 or total == 0:
+        return 0.0
+    weighted = sum(rank * value for rank, value in enumerate(values, start=1))
+    return (2.0 * weighted) / (n * total) - (n + 1) / n
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Deterministic and interpolation-free, so the same loads always give
+    the same p50/p95 regardless of platform float quirks.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return float(ordered[max(0, min(len(ordered) - 1, rank - 1))])
 
 
 def jain_fairness(loads: Sequence[float]) -> float:
@@ -41,11 +79,15 @@ class LoadBalance:
     stdev: float
     imbalance: float  #: max / mean (1.0 = perfect)
     fairness: float  #: Jain's index
+    gini: float = 0.0  #: Gini coefficient (0 = even)
+    p50: float = 0.0  #: median per-reducer load
+    p95: float = 0.0  #: 95th-percentile per-reducer load
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"LoadBalance(n={self.reducers}, max={self.max_load}, "
-            f"mean={self.mean_load:.1f}, imbalance={self.imbalance:.2f}, "
+            f"mean={self.mean_load:.1f}, p95={self.p95:.0f}, "
+            f"imbalance={self.imbalance:.2f}, gini={self.gini:.3f}, "
             f"jain={self.fairness:.3f})"
         )
 
@@ -68,4 +110,7 @@ def load_balance(loads: Mapping[Hashable, int]) -> LoadBalance:
         stdev=math.sqrt(variance),
         imbalance=(max_load / mean) if mean > 0 else 1.0,
         fairness=jain_fairness(values),
+        gini=gini(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
     )

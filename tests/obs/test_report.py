@@ -4,19 +4,25 @@ from __future__ import annotations
 
 from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
+from repro.faults import CRASH, DELAY, FaultEvent, ScriptedFaultPlan
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobResult
 from repro.obs import RunReport, TraceRecorder
 from repro.obs.span import Span
 from repro.workloads import SyntheticConfig, generate_relation
 
+from tests.conftest import make_dataset
 
-def _job_result(name, loads, outputs=None, comparisons=None) -> JobResult:
+
+def _job_result(
+    name, loads, outputs=None, comparisons=None, logical=None,
+    counters=None,
+) -> JobResult:
     return JobResult(
         name=name,
-        counters=Counters(),
+        counters=counters or Counters(),
         reduce_task_loads=list(loads),
-        logical_reducer_loads={},
+        logical_reducer_loads=dict(logical or {}),
         output=f"{name}/out",
         output_records=sum(outputs or []),
         reduce_task_outputs=list(outputs or []),
@@ -85,6 +91,117 @@ class TestStragglerFlags:
         ]
         report = RunReport.from_observations([], spans)
         assert report.flags_for(reason="straggler") == []
+
+    def test_attempt_spans_excluded(self):
+        """A slow *failed* attempt must never be flagged as a straggler
+        — only committed ``kind="task"`` spans enter the calculation."""
+        spans = [
+            self._task_span(i, "j", i, 0.0, 0.010 + i * 0.001)
+            for i in range(4)
+        ]
+        slow_attempt = Span(
+            name="reduce[0]",
+            kind="attempt",
+            span_id=99,
+            parent_id=None,
+            start=0.0,
+            end=5.0,
+            attributes={"phase": "reduce", "job": "j", "task_index": 0},
+        )
+        report = RunReport.from_observations([], spans + [slow_attempt])
+        assert report.flags_for(reason="straggler") == []
+        assert report.faults.attempt_spans == 1
+        assert report.faults.overhead_seconds >= 5.0
+
+
+class TestScriptedFaultStragglers:
+    """Regression: under fault injection the non-committing attempt
+    spans carry the retry/delay history; straggler detection must diagnose
+    the committed tasks only, identically to a fault-free run."""
+
+    QUERY = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+
+    def _run(self, faults):
+        recorder = TraceRecorder()
+        execute(
+            self.QUERY,
+            make_dataset(("R1", "R2"), 60, seed=11),
+            algorithm="two_way",
+            num_partitions=5,
+            executor="threads",
+            workers=2,
+            observer=recorder,
+            faults=faults,
+            max_attempts=3 if faults else 1,
+        )
+        return recorder
+
+    def test_slow_failed_attempt_not_a_straggler(self):
+        # Attempt 0 of reduce task 0 sleeps ~50 ms (the sleep cap) and
+        # then crashes at commit; attempt 1 wins normally.  The failed
+        # attempt dwarfs every real task, so counting it would both
+        # skew the median and flag a phantom straggler.
+        plan = ScriptedFaultPlan(
+            {
+                ("two-way", "reduce", 0, 0): (
+                    FaultEvent(DELAY, "setup", 0.2),
+                    FaultEvent(CRASH, "commit"),
+                )
+            }
+        )
+        chaos = self._run(plan)
+        attempt_spans = [s for s in chaos.spans if s.kind == "attempt"]
+        assert len(attempt_spans) == 1
+        report = RunReport.from_recorder(chaos)
+        flagged = {
+            (flag.job, flag.task_index)
+            for flag in report.flags_for(reason="straggler")
+        }
+        assert ("two-way", 0) not in flagged
+        # The overhead is visible where it belongs: the fault summary.
+        assert report.faults.attempt_spans == 1
+        assert report.faults.overhead_seconds >= 0.04
+        # And the baseline run flags exactly the same stragglers.
+        baseline = RunReport.from_recorder(self._run(False))
+        assert flagged == {
+            (flag.job, flag.task_index)
+            for flag in baseline.flags_for(reason="straggler")
+        }
+
+
+class TestProfilerExtensions:
+    def test_hot_keys_ranked_and_bounded(self):
+        result = _job_result(
+            "h", [10, 5], logical={"a": 7, "b": 7, "c": 1, "d": 3}
+        )
+        report = RunReport.from_observations([result], top_keys=3)
+        (job,) = report.jobs
+        # Ties break on repr(key) so the ranking is deterministic.
+        assert job.hot_keys == [("'a'", 7), ("'b'", 7), ("'d'", 3)]
+        assert "hottest keys" in report.render()
+
+    def test_replication_factor_from_counters(self):
+        counters = Counters()
+        counters.increment("framework", "map_input_records", 100)
+        counters.increment("framework", "map_output_records", 250)
+        report = RunReport.from_observations(
+            [_job_result("r", [5], counters=counters)]
+        )
+        assert report.replication_factors == {"r": 2.5}
+
+    def test_check_replication_flags_drift(self):
+        counters = Counters()
+        counters.increment("framework", "map_input_records", 100)
+        counters.increment("framework", "map_output_records", 250)
+        report = RunReport.from_observations(
+            [_job_result("r", [5], counters=counters)]
+        )
+        assert report.check_replication({"r": 2.5}) == []
+        assert report.check_replication({"r": 2.45}, tolerance=0.05) == []
+        (flag,) = report.check_replication({"r": 3.5})
+        assert "replication regression" in flag and "r" in flag
+        # Jobs absent from the run or the baseline are not regressions.
+        assert report.check_replication({"other": 9.0}) == []
 
 
 class TestSkewedWorkload:

@@ -2,8 +2,46 @@
 
 import pytest
 
-from repro.stats.metrics import LoadBalance, jain_fairness, load_balance
+from repro.stats.metrics import (
+    LoadBalance,
+    gini,
+    jain_fairness,
+    load_balance,
+    percentile,
+)
 from repro.stats.reporting import human_count, human_seconds, render_table
+
+
+class TestGini:
+    def test_perfect_balance_is_zero(self):
+        assert gini([10, 10, 10, 10]) == pytest.approx(0.0)
+
+    def test_single_hot_spot(self):
+        # All load on one of n reducers: G = (n - 1) / n.
+        assert gini([100, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_known_value(self):
+        assert gini([1, 2, 3, 4]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 11))
+        assert percentile(values, 50) == 5
+        assert percentile(values, 95) == 10
+        assert percentile(values, 100) == 10
+        assert percentile(values, 0) == 1
+
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
 
 
 class TestJainFairness:
@@ -33,6 +71,14 @@ class TestLoadBalance:
         summary = load_balance({})
         assert summary.reducers == 0
         assert summary.imbalance == 1.0
+
+    def test_percentiles_and_gini(self):
+        summary = load_balance({i: load for i, load in enumerate(
+            [10, 20, 30, 40]
+        )})
+        assert summary.p50 == 20
+        assert summary.p95 == 40
+        assert summary.gini == pytest.approx(0.25)
 
 
 class TestHumanFormats:
