@@ -1,0 +1,158 @@
+"""EXPLAIN / reconciliation overhead micro-benchmark.
+
+``repro explain`` renders a physical plan with analytic cost-model
+predictions before a run, and the executor reconciles those predictions
+against observed metrics after it.  Both are supposed to be *free*
+relative to the run they describe — this benchmark pins that claim on
+the standard workload (the hybrid query of ``check_replication.py`` at
+n=600 per relation): it times one observed run, then the EXPLAIN
+rendering and the span-based reconciliation rebuild (median of
+``REPEATS`` — they are sub-millisecond, single timings would be pure
+jitter), asserts their combined overhead stays under 5 % of the run's
+wall clock, and writes ``BENCH_explain.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+from common import (  # noqa: E402
+    emit_bench_json,
+    print_section,
+    render_table,
+    run_algorithm,
+)
+
+from repro.core.query import IntervalJoinQuery  # noqa: E402
+from repro.obs import (  # noqa: E402
+    TraceRecorder,
+    explain_query,
+    reconciliation_from_spans,
+)
+from repro.workloads import SyntheticConfig, generate_relation  # noqa: E402
+
+#: Combined EXPLAIN + reconciliation budget, as a fraction of run wall.
+MAX_OVERHEAD_FRACTION = 0.05
+
+REPEATS = 9
+RELATION_ROWS = 600
+NUM_PARTITIONS = 8
+
+QUERY = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+)
+
+
+def make_data(rows=RELATION_ROWS):
+    return {
+        name: generate_relation(
+            name,
+            SyntheticConfig(
+                n=rows,
+                t_range=(0, 100_000),
+                length_range=(1, 100),
+                seed=index,
+            ),
+        )
+        for index, name in enumerate(("R1", "R2", "R3"))
+    }
+
+
+def _median_of(fn, repeats=REPEATS):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main() -> None:
+    data = make_data()
+    print_section(
+        f"EXPLAIN & reconciliation overhead — {QUERY!s}, "
+        f"n={RELATION_ROWS} per relation, {NUM_PARTITIONS} partitions"
+    )
+
+    observer = TraceRecorder()
+    run_start = time.perf_counter()
+    result = run_algorithm(
+        QUERY,
+        data,
+        "all_seq_matrix",
+        num_partitions=NUM_PARTITIONS,
+        observer=observer,
+    )
+    run_s = time.perf_counter() - run_start
+
+    explain_s = _median_of(
+        lambda: explain_query(
+            QUERY, data, num_partitions=NUM_PARTITIONS
+        ).render()
+    )
+    reconcile_s = _median_of(
+        lambda: [
+            r.render() for r in reconciliation_from_spans(observer.spans)
+        ]
+    )
+    overhead = (explain_s + reconcile_s) / run_s
+
+    print(
+        render_table(
+            f"median of {REPEATS} (run: single timing)",
+            ["stage", "seconds", "fraction of run"],
+            [
+                ["observed run", f"{run_s:.4f}", "1.0000"],
+                ["explain (render)", f"{explain_s:.6f}",
+                 f"{explain_s / run_s:.6f}"],
+                ["reconcile (from spans)", f"{reconcile_s:.6f}",
+                 f"{reconcile_s / run_s:.6f}"],
+                ["combined overhead", f"{explain_s + reconcile_s:.6f}",
+                 f"{overhead:.6f}"],
+            ],
+        )
+    )
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"EXPLAIN + reconciliation cost {overhead:.2%} of the run — over "
+        f"the {MAX_OVERHEAD_FRACTION:.0%} budget"
+    )
+    print(
+        f"overhead {overhead:.4%} < {MAX_OVERHEAD_FRACTION:.0%} budget: ok"
+    )
+    emit_bench_json(
+        "explain",
+        {
+            "tuples": len(result),
+            "run_seconds": round(run_s, 6),
+            "explain_seconds": round(explain_s, 6),
+            "reconcile_seconds": round(reconcile_s, 6),
+            "overhead_fraction": round(overhead, 6),
+            "note": (
+                "explain/reconcile are medians of "
+                f"{REPEATS}; overhead_fraction is their sum over the "
+                "run's wall clock"
+            ),
+        },
+        metrics=observer.metrics,
+    )
+
+
+# ---------------------------------------------------------------- pytest
+def test_explain_overhead(benchmark):
+    data = make_data(120)
+    benchmark.pedantic(
+        lambda: explain_query(QUERY, data, num_partitions=4).render(),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+"""Gate the cost model's prediction error against a committed baseline.
+
+``repro explain`` prints analytic predictions (replication factor,
+shuffled records, max reducer load, modelled seconds) for every plan;
+after a run the executor reconciles them against the observed
+:class:`repro.obs.MetricsRegistry` values.  The *relative errors* of
+those predictions are deterministic: the workloads below are seeded and
+the simulator is deterministic, so predicted and observed quantities —
+and hence their quotient — must reproduce exactly on any host.  A drift
+means either an algorithm's routing changed or a ``predict()`` formula
+diverged from the implementation it models; both are regressions the
+wall-clock gate can never see.
+
+The gate runs one pinned workload per algorithm (all ten), extracts the
+per-quantity relative errors from the run's reconciliation spans, and
+compares them against the committed
+``benchmarks/model_error_baseline.json``::
+
+    python benchmarks/check_model_error.py             # gate (exit 1 on drift)
+    python benchmarks/check_model_error.py --update    # rewrite the baseline
+
+``--tolerance`` (or ``$REPRO_MODEL_ERROR_TOLERANCE``) loosens the bound;
+the default 0.01 is slack for float formatting only, not for behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import run_algorithm  # noqa: E402
+
+from repro.core.query import IntervalJoinQuery  # noqa: E402
+from repro.obs import TraceRecorder, reconciliation_from_spans  # noqa: E402
+from repro.workloads import SyntheticConfig, generate_relation  # noqa: E402
+
+#: Environment variable overriding the default tolerance.
+TOLERANCE_ENV = "REPRO_MODEL_ERROR_TOLERANCE"
+
+#: Absolute slack on each relative error (they are already quotients).
+DEFAULT_TOLERANCE = 0.01
+
+#: Committed baseline, next to this script.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "model_error_baseline.json"
+)
+
+RELATION_ROWS = 300
+NUM_PARTITIONS = 8
+
+#: Pinned query per query class (triples for IntervalJoinQuery.parse).
+QUERY_TWO_WAY = (("R1", "overlaps", "R2"),)
+QUERY_COLOCATION = (("R1", "overlaps", "R2"), ("R2", "overlaps", "R3"))
+QUERY_SEQUENCE = (("R1", "before", "R2"), ("R2", "before", "R3"))
+QUERY_HYBRID = (("R1", "overlaps", "R2"), ("R2", "before", "R3"))
+
+#: Every registered algorithm, each on a pinned query it handles.
+WORKLOADS: Dict[str, tuple] = {
+    "two_way": QUERY_TWO_WAY,
+    "two_way_cascade": QUERY_HYBRID,
+    "all_replicate": QUERY_COLOCATION,
+    "rccis": QUERY_COLOCATION,
+    "all_matrix": QUERY_SEQUENCE,
+    "all_seq_matrix": QUERY_HYBRID,
+    "pasm": QUERY_HYBRID,
+    "gen_matrix": QUERY_HYBRID,
+    "fcts": QUERY_HYBRID,
+    "fstc": QUERY_HYBRID,
+}
+
+
+def make_data(relations) -> Dict[str, Any]:
+    """The pinned dataset: seed = the relation's index, as in
+    ``check_replication.py``."""
+    return {
+        name: generate_relation(
+            name,
+            SyntheticConfig(
+                n=RELATION_ROWS,
+                t_range=(0, 100_000),
+                length_range=(1, 100),
+                seed=index,
+            ),
+        )
+        for index, name in enumerate(relations)
+    }
+
+
+def algorithm_errors(algorithm: str) -> Dict[str, float]:
+    """Run one algorithm's pinned workload; per-quantity relative error."""
+    conditions = WORKLOADS[algorithm]
+    query = IntervalJoinQuery.parse(list(conditions))
+    data = make_data(query.relations)
+    observer = TraceRecorder()
+    run_algorithm(
+        query,
+        data,
+        algorithm,
+        num_partitions=NUM_PARTITIONS,
+        observer=observer,
+    )
+    reconciliations = reconciliation_from_spans(observer.spans)
+    if len(reconciliations) != 1:
+        raise RuntimeError(
+            f"expected one reconciliation for {algorithm}, got "
+            f"{len(reconciliations)}"
+        )
+    return {
+        row.quantity: round(row.error, 6)
+        for row in reconciliations[0].rows
+    }
+
+
+def pinned_errors() -> Dict[str, Dict[str, float]]:
+    """``algorithm -> quantity -> relative error`` for all ten."""
+    return {
+        algorithm: algorithm_errors(algorithm) for algorithm in WORKLOADS
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the cost model's prediction errors drift "
+        "from the committed baseline."
+    )
+    parser.add_argument(
+        "--baseline", default=BASELINE_PATH,
+        help=f"baseline JSON path (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help=f"allowed drift per relative error (default "
+        f"{DEFAULT_TOLERANCE}, or ${TOLERANCE_ENV})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from a fresh run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(
+            os.environ.get(TOLERANCE_ENV, str(DEFAULT_TOLERANCE))
+        )
+    if tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    observed = pinned_errors()
+
+    if args.update:
+        document: Dict[str, Any] = {
+            "workload": (
+                f"one pinned query per algorithm, n={RELATION_ROWS} per "
+                f"relation (seed = relation index), "
+                f"{NUM_PARTITIONS} partitions"
+            ),
+            "errors": observed,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"FAILED: baseline {args.baseline} not found "
+            f"(run with --update to create it)"
+        )
+        return 1
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    expected: Dict[str, Dict[str, float]] = baseline.get("errors", {})
+    print(
+        f"cost-model error gate — all {len(WORKLOADS)} algorithms, "
+        f"tolerance {tolerance}"
+    )
+    failures = 0
+    for algorithm in sorted(set(expected) | set(observed)):
+        want_all = expected.get(algorithm)
+        got_all = observed.get(algorithm)
+        if want_all is None or got_all is None:
+            print(
+                f"  [FAIL] {algorithm}: baseline="
+                f"{'present' if want_all else 'absent'} fresh="
+                f"{'present' if got_all else 'absent'} (algorithm set "
+                "changed; regenerate the baseline)"
+            )
+            failures += 1
+            continue
+        for quantity in sorted(set(want_all) | set(got_all)):
+            want = want_all.get(quantity)
+            got = got_all.get(quantity)
+            if want is None or got is None:
+                print(
+                    f"  [FAIL] {algorithm}.{quantity}: baseline={want} "
+                    f"fresh={got} (quantity set changed)"
+                )
+                failures += 1
+                continue
+            ok = abs(got - want) <= tolerance
+            status = "ok  " if ok else "FAIL"
+            print(
+                f"  [{status}] {algorithm}.{quantity}: baseline={want:+.6f} "
+                f"fresh={got:+.6f} (allowed +/-{tolerance})"
+            )
+            failures += 0 if ok else 1
+    if failures:
+        print(f"FAILED: {failures} prediction error(s) drifted")
+        return 1
+    print("OK: all prediction errors within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

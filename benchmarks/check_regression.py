@@ -19,11 +19,20 @@ Two kinds of fields, two kinds of checks:
   ``num_keys``) come from the simulator's cost model and the data
   generators, not the host, so they must match the baseline exactly.
   A drift here is a correctness bug, never noise.
-* **Informational fields** (``executor``, ``workers``, ``metrics``,
-  ``note``) describe the measuring run and are never gated — old
-  baselines without them pass, and new baselines carrying them do not
-  fail runs from a different host.  Replication-factor drift has its own
-  dedicated gate, ``check_replication.py``.
+* **Metrics snapshots** (the ``metrics`` field, a
+  ``MetricsRegistry.as_dict`` dump) are fingerprinted: every family in
+  the deterministic ``run`` group must match the baseline sample-for-
+  sample, while the host-dependent ``wall`` group and the
+  fault-injection ``faults`` group are explicitly allowlisted out of
+  the comparison.  Run-group counters are executor- and
+  fault-invariant by design, so any drift is a correctness bug.
+  Baselines recorded before metrics snapshots existed still pass.
+* **Informational fields** (``executor``, ``workers``, ``note``)
+  describe the measuring run and are never gated — old baselines
+  without them pass, and new baselines carrying them do not fail runs
+  from a different host.  Replication-factor drift has its own
+  dedicated gate, ``check_replication.py``, and cost-model prediction
+  drift has ``check_model_error.py``.
 
 Usage::
 
@@ -50,7 +59,11 @@ TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 DEFAULT_TOLERANCE = 0.25
 
 #: The benchmark artifacts this gate knows about.
-BENCH_FILES = ("BENCH_executors.json", "BENCH_shuffle_sort.json")
+BENCH_FILES = (
+    "BENCH_executors.json",
+    "BENCH_shuffle_sort.json",
+    "BENCH_explain.json",
+)
 
 #: Fields that must match the baseline bit-for-bit (simulator-determined).
 EXACT_FIELDS = frozenset({"tuples", "rows", "modelled_seconds", "num_keys"})
@@ -59,11 +72,18 @@ EXACT_FIELDS = frozenset({"tuples", "rows", "modelled_seconds", "num_keys"})
 WALL_SUFFIX = "_seconds"
 
 #: Fields that describe the run rather than measure it (executor label,
-#: worker count, metrics snapshots, free-form notes).  Never gated and
-#: never required: baselines recorded before these fields existed still
-#: pass, and baselines recorded with them do not fail fresh runs from a
+#: worker count, free-form notes).  Never gated and never required:
+#: baselines recorded before these fields existed still pass, and
+#: baselines recorded with them do not fail fresh runs from a
 #: differently-provisioned host.
-INFORMATIONAL_FIELDS = frozenset({"executor", "workers", "metrics", "note"})
+INFORMATIONAL_FIELDS = frozenset({"executor", "workers", "note"})
+
+#: Metric groups allowlisted out of the ``metrics`` fingerprint: the
+#: ``wall`` group is host wall-clock (noise by definition) and the
+#: ``faults`` group depends on whether the run injected faults.  Every
+#: other group — in practice ``run`` — is deterministic and compared
+#: sample-for-sample.
+SKIPPED_METRIC_GROUPS = frozenset({"wall", "faults"})
 
 
 class Comparison:
@@ -127,6 +147,68 @@ def _compare_scalar(
     return None
 
 
+def _metric_fingerprint(
+    snapshot: Dict[str, Any],
+) -> Dict[str, Tuple[Tuple[Any, Any], ...]]:
+    """``family name -> sorted (labels, value) samples`` for every
+    family outside the allowlisted noisy groups."""
+    families: Dict[str, Tuple[Tuple[Any, Any], ...]] = {}
+    for name, entry in snapshot.items():
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("group") in SKIPPED_METRIC_GROUPS:
+            continue
+        families[name] = tuple(
+            sorted(
+                (tuple(sample.get("labels", ())), sample.get("value"))
+                for sample in entry.get("samples", ())
+            )
+        )
+    return families
+
+
+def _compare_metrics(
+    label: str, baseline: Any, fresh: Any
+) -> Iterable[Comparison]:
+    """Fingerprint comparison of two ``MetricsRegistry.as_dict``
+    snapshots (deterministic groups only, see SKIPPED_METRIC_GROUPS)."""
+    if not isinstance(baseline, dict):
+        return
+    if not isinstance(fresh, dict):
+        yield Comparison(
+            label, "metrics", "snapshot", fresh, False,
+            "metrics snapshot missing from fresh run",
+        )
+        return
+    base_families = _metric_fingerprint(baseline)
+    fresh_families = _metric_fingerprint(fresh)
+    for name in sorted(set(base_families) | set(fresh_families)):
+        field = f"metrics.{name}"
+        if name not in fresh_families:
+            yield Comparison(
+                label, field, "present", "absent", False,
+                "deterministic family missing from fresh run",
+            )
+        elif name not in base_families:
+            yield Comparison(
+                label, field, "absent", "present", False,
+                "deterministic family absent from baseline "
+                "(regenerate the baseline)",
+            )
+        else:
+            ok = base_families[name] == fresh_families[name]
+            yield Comparison(
+                label,
+                field,
+                f"{len(base_families[name])} sample(s)",
+                f"{len(fresh_families[name])} sample(s)",
+                ok,
+                "run-group fingerprint, exact match required"
+                if ok
+                else "sample values drifted from the baseline",
+            )
+
+
 def _compare_mapping(
     label: str,
     baseline: Dict[str, Any],
@@ -135,6 +217,9 @@ def _compare_mapping(
 ) -> Iterable[Comparison]:
     for field, base_value in sorted(baseline.items()):
         if field in INFORMATIONAL_FIELDS:
+            continue
+        if field == "metrics":
+            yield from _compare_metrics(label, base_value, fresh.get(field))
             continue
         if field not in fresh:
             yield Comparison(

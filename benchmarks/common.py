@@ -162,11 +162,13 @@ def emit_bench_json(
     environment the numbers were measured on — CPU count above all, since
     parallel-executor speedups are meaningless without it.  Every
     artifact also records the resolved ``executor`` and ``workers`` the
-    numbers were measured with, and ``metrics`` (a
-    :class:`~repro.obs.metrics.MetricsRegistry` or its ``as_dict``
-    snapshot) attaches the run's metric families.  All three are
-    *informational* to ``check_regression.py`` — old baselines without
-    them still pass.  Returns the path written.
+    numbers were measured with (informational to ``check_regression.py``)
+    and ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` or its
+    ``as_dict`` snapshot) attaches the run's metric families — whose
+    deterministic ``run`` group ``check_regression.py`` fingerprints
+    against the baseline sample-for-sample (the ``wall`` and ``faults``
+    groups stay allowlisted out).  Old baselines without a ``metrics``
+    field still pass.  Returns the path written.
     """
     from repro.mapreduce.runner import resolve_executor, resolve_workers
 

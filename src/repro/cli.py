@@ -14,11 +14,20 @@ Commands
     artifacts: ``--trace`` (Chrome trace-event or JSONL span log),
     ``--history`` (JobHistory JSON + totals), ``--report`` (skew /
     straggler / empty-task diagnosis), ``--metrics`` / ``--metrics-out``
-    (metric summary, JSON or Prometheus text) and ``--html`` (one
-    self-contained dashboard page).
+    (metric summary, JSON or Prometheus text), ``--html`` (one
+    self-contained dashboard page) and ``--explain`` (EXPLAIN the plan
+    before running, reconcile predictions against observations after).
+``explain``
+    Render the physical plan for a query without running it: planner
+    rationale (chosen algorithm and why each alternative was rejected,
+    or the Allen path-consistency emptiness proof), MapReduce cycles,
+    reducer-grid shape, partitioner and per-predicate kernels, plus the
+    cost model's analytic predictions (``--exact`` dry-runs the real
+    mappers instead when relations are bound).
 ``report``
-    Rebuild the HTML dashboard from a saved JSONL span trace (plus an
-    optional ``--metrics`` JSON snapshot) after the run is gone.
+    Rebuild the HTML dashboard and the predicted-vs-observed plan
+    reconciliation from a saved JSONL span trace (plus an optional
+    ``--metrics`` JSON snapshot) after the run is gone.
 ``histogram``
     The exact Allen-relationship histogram between two relations.
 
@@ -36,7 +45,7 @@ from typing import Dict, Optional, Sequence
 
 from repro import __version__
 from repro.core.executor import execute
-from repro.core.planner import ALGORITHMS, plan
+from repro.core.planner import ALGORITHMS
 from repro.core.query import IntervalJoinQuery
 from repro.core.schema import Relation
 from repro.errors import ReproError
@@ -144,7 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_SPECULATIVE, then off)",
     )
     run.add_argument("--explain", action="store_true",
-                     help="print the plan and exit without running")
+                     help="print the EXPLAIN plan (with cost-model "
+                     "predictions) before running and the "
+                     "predicted-vs-observed reconciliation after")
     run.add_argument("-o", "--output", default=None,
                      help="write output tuples as JSON lines")
     run.add_argument("--trace", default=None, metavar="PATH",
@@ -167,6 +178,40 @@ def build_parser() -> argparse.ArgumentParser:
                      "(*.prom writes Prometheus text exposition instead)")
     run.add_argument("--html", default=None, metavar="PATH",
                      help="write a self-contained HTML run dashboard")
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the physical plan and cost predictions for a query "
+        "without running it",
+    )
+    explain.add_argument(
+        "--relation", action="append", default=None, metavar="NAME=FILE",
+        help="bind a relation name to a file (repeatable); omit to "
+        "explain the plan shape without data-dependent predictions",
+    )
+    explain.add_argument(
+        "--condition", action="append", required=True,
+        metavar="'LEFT PRED RIGHT'",
+        help="a join condition, e.g. 'R1 overlaps R2' (repeatable)",
+    )
+    explain.add_argument(
+        "--algorithm", default=None, choices=sorted(ALGORITHMS),
+        help="override the planner's choice",
+    )
+    explain.add_argument("--partitions", type=int, default=16)
+    explain.add_argument(
+        "--prune", action="store_true",
+        help="for hybrid queries, prefer PASM over All-Seq-Matrix",
+    )
+    explain.add_argument(
+        "--exact", action="store_true",
+        help="dry-run the real mappers for exact predictions "
+        "(requires --relation bindings)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the plan as JSON instead of the printable rendering",
+    )
 
     report = sub.add_parser(
         "report",
@@ -239,22 +284,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _load_bindings(bindings) -> Dict[str, Relation]:
     data: Dict[str, Relation] = {}
-    for binding in args.relation:
+    for binding in bindings or ():
         if "=" not in binding:
             raise ReproError(f"--relation {binding!r} must be NAME=FILE")
         name, path = binding.split("=", 1)
         data[name] = _load(path, name)
+    return data
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import explain_query
+
+    data = _load_bindings(args.relation)
+    query = IntervalJoinQuery.parse(
+        [_parse_condition(c) for c in args.condition]
+    )
+    explained = explain_query(
+        query,
+        data or None,
+        algorithm=args.algorithm,
+        num_partitions=args.partitions,
+        prune=args.prune,
+        exact=args.exact,
+    )
+    if args.json:
+        print(json.dumps(explained.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(explained.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    data = _load_bindings(args.relation)
     query = IntervalJoinQuery.parse(
         [_parse_condition(c) for c in args.condition]
     )
     if args.explain:
-        chosen = plan(query)
-        print(f"query:  {query}")
-        print(f"class:  {query.query_class.name}")
-        print(f"plan:   {chosen.reason}")
-        return 0
+        from repro.obs import explain_query
+
+        explained = explain_query(
+            query,
+            data,
+            algorithm=args.algorithm,
+            num_partitions=args.partitions,
+        )
+        print(explained.render())
+        if explained.provably_empty:
+            return 0
+        print()
     # Validate executor/workers up front so bad values fail before any work.
     from repro.mapreduce.runner import resolve_executor, resolve_workers
 
@@ -262,7 +341,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
     observer = None
     if (
-        args.trace
+        args.explain
+        or args.trace
         or args.history
         or args.report
         or args.metrics
@@ -303,6 +383,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"faults:     {m.tasks_failed} failed, {m.tasks_retried} "
             f"retried, {m.speculative_wasted} speculative wasted"
         )
+    if args.explain:
+        from repro.obs import reconciliation_from_spans
+
+        for reconciliation in reconciliation_from_spans(observer.spans):
+            print()
+            print(reconciliation.render())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             for tuple_rows in result.tuples:
@@ -353,7 +439,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import load_spans_jsonl, render_dashboard
+    from repro.obs import (
+        load_spans_jsonl,
+        reconciliation_from_spans,
+        render_dashboard,
+    )
 
     spans = load_spans_jsonl(args.trace)
     metrics = None
@@ -364,6 +454,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     jobs = [span for span in spans if span.kind == "job"]
     print(f"trace:      {args.trace}")
     print(f"spans:      {len(spans)} ({len(jobs)} jobs)")
+    for reconciliation in reconciliation_from_spans(spans):
+        print()
+        print(reconciliation.render())
     if args.html:
         page = render_dashboard(spans, metrics, title=title)
         with open(args.html, "w", encoding="utf-8") as handle:
@@ -394,6 +487,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "trace": _cmd_trace,
     "run": _cmd_run,
+    "explain": _cmd_explain,
     "report": _cmd_report,
     "histogram": _cmd_histogram,
 }

@@ -168,3 +168,42 @@ class AllReplicate(JoinAlgorithm):
                 "cycles": 1,
             },
         )
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import exact_all_replicate
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            replicate_fanout,
+        )
+
+        conf = conf or PredictConfig()
+        if conf.exact:
+            return exact_all_replicate(self, query, conf)
+        parts = conf.num_partitions
+        maximal = maximal_relations(query)
+        projected = maximal[0] if maximal else None
+        reads = 0.0
+        out = 0.0
+        for name in query.relations:
+            n = profile.rows_per_relation.get(name, 0)
+            reads += n
+            out += n * (1.0 if name == projected else replicate_fanout(parts))
+        load = out / parts
+        cycle = CyclePrediction(
+            name="all-replicate",
+            records_read=reads,
+            map_output_records=out,
+            shuffled_records=out,
+            reduce_tasks=parts,
+            max_reducer_load=load,
+        )
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=(cycle,),
+            max_reducer_load=load,
+            consistent_reducers=parts,
+            total_reducers=parts,
+        )

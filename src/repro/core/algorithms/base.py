@@ -59,6 +59,19 @@ def record_algorithm_metrics(
         "(all cycles).",
         labels=("algorithm",),
     ).set(metrics.replication_factor, algorithm=metrics.algorithm)
+    observed = registry.gauge(
+        "repro_algorithm_observed",
+        "Observed run quantities the cost model predicts: the observed "
+        "side of every plan reconciliation.",
+        labels=("algorithm", "quantity"),
+    )
+    for quantity, value in sorted(metrics.observed_quantities().items()):
+        observed.set(value, algorithm=metrics.algorithm, quantity=quantity)
+    registry.gauge(
+        "repro_algorithm_output_records",
+        "Tuples produced by the algorithm's final cycle.",
+        labels=("algorithm",),
+    ).set(metrics.output_records, algorithm=metrics.algorithm)
     if metrics.consistent_reducers is not None and metrics.total_reducers:
         reducers = registry.gauge(
             "repro_grid_reducers",
@@ -203,6 +216,36 @@ class JoinAlgorithm(abc.ABC):
             Speculative re-execution of plan-delayed stragglers
             (``None``: ``$REPRO_SPECULATIVE``).
         """
+
+    # ------------------------------------------------------------------
+    def predict(self, query, profile, conf=None):
+        """Predict the run's communication footprint without running it.
+
+        Parameters
+        ----------
+        query:
+            The :class:`IntervalJoinQuery` to be planned.
+        profile:
+            A :class:`repro.core.tuning.DataProfile` of the input data
+            (from :func:`repro.core.tuning.profile_data`).
+        conf:
+            A :class:`repro.core.tuning.PredictConfig`.  The default
+            *analytic* tier evaluates the paper's Section-6 closed-form
+            formulas from the profile alone; ``conf.exact=True`` instead
+            dry-runs the algorithm's real mappers (and flag/mark decision
+            reducers) over ``conf.data`` so the predicted counters match
+            the run bit-for-bit — join reducers are never executed.
+
+        Returns
+        -------
+        repro.core.tuning.PlanPrediction
+            Per-cycle reads / map output / shuffle / reducer loads plus
+            plan totals; ``prediction.quantities()`` aligns key-for-key
+            with ``ExecutionMetrics.observed_quantities()``.
+        """
+        raise PlanningError(
+            f"algorithm {self.name!r} does not implement predict()"
+        )
 
     # ------------------------------------------------------------------
     def _setup(

@@ -536,6 +536,94 @@ class TwoWayCascade(JoinAlgorithm):
             partitioner=RoundRobinKeyPartitioner(),
         )
 
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import exact_cascade, operator_fanout
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            condition_selectivity,
+        )
+
+        conf = conf or PredictConfig()
+        if not query.is_single_attribute:
+            raise PlanningError(
+                "TwoWayCascade handles single-attribute queries"
+            )
+        if conf.exact:
+            return exact_cascade(self, query, conf)
+        parts = conf.num_partitions
+        grid_o = self.grid_parts or max(
+            2, math.ceil(math.sqrt(2 * parts))
+        )
+        order = _binding_order(query)
+        partials = float(profile.rows_per_relation.get(order[0], 0))
+        cycles = []
+        # Colocation steps key by partition index, sequence steps by
+        # (i, j) grid cells — loads collide and sum within each family.
+        colocation_load = 0.0
+        sequence_load = 0.0
+        for step, new in enumerate(order[1:], start=1):
+            bound = order[:step]
+            step_conditions = _step_conditions(query, bound, new)
+            routing = _routing_condition(step_conditions)
+            n_new = profile.rows_per_relation.get(new, 0)
+            reads = partials + n_new
+            if routing.is_colocation:
+                _, _, bound_is_left = self._bound_member(routing, new)
+                bound_op = (
+                    routing.predicate.left_operator
+                    if bound_is_left
+                    else routing.predicate.right_operator
+                )
+                new_op = (
+                    routing.predicate.right_operator
+                    if bound_is_left
+                    else routing.predicate.left_operator
+                )
+                out = partials * operator_fanout(
+                    bound_op, profile, parts
+                ) + n_new * operator_fanout(new_op, profile, parts)
+                load = out / parts
+                colocation_load += load
+                cycles.append(
+                    CyclePrediction(
+                        name=f"cascade-{new}",
+                        records_read=reads,
+                        map_output_records=out,
+                        shuffled_records=out,
+                        reduce_tasks=parts,
+                        max_reducer_load=load,
+                    )
+                )
+            else:
+                cells = grid_o * (grid_o + 1) // 2
+                out = (partials + n_new) * cells / grid_o
+                load = out / max(1, cells)
+                sequence_load += load
+                cycles.append(
+                    CyclePrediction(
+                        name=f"cascade-{new}",
+                        records_read=reads,
+                        map_output_records=out,
+                        shuffled_records=out,
+                        reduce_tasks=max(1, cells),
+                        max_reducer_load=load,
+                    )
+                )
+            selectivity = 1.0
+            for cond in step_conditions:
+                selectivity *= condition_selectivity(cond, profile)
+            partials *= n_new * selectivity
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=tuple(cycles),
+            max_reducer_load=max(colocation_load, sequence_load),
+            consistent_reducers=parts,
+            total_reducers=parts,
+        )
+
 
 class _GridWrapMapper(Mapper):
     """Step-0 bound side of a sequence step: wrap rows as partial tuples

@@ -401,18 +401,13 @@ class _GridJoinReducer(Reducer):
         self._anchor_component: Optional[int] = (
             max(multi, key=lambda c: len(c.terms)).index if multi else None
         )
-        self._joiners: Dict[Optional[str], LocalJoiner] = {}
 
     def _joiner(self, anchor_relation: Optional[str], count) -> LocalJoiner:
-        joiner = self._joiners.get(anchor_relation)
-        if joiner is None:
-            joiner = LocalJoiner(
-                self.query, count, start_with=anchor_relation
-            )
-            self._joiners[anchor_relation] = joiner
-        else:
-            joiner._count = count
-        return joiner
+        # Built per reduce() call: the reducer instance is shared across
+        # concurrently-running tasks under the threads executor, so a
+        # cached joiner's count callback would attribute one task's
+        # comparisons to another's counters.
+        return LocalJoiner(self.query, count, start_with=anchor_relation)
 
     def reduce(
         self,
@@ -665,6 +660,105 @@ class GenMatrix(JoinAlgorithm):
                 "consistent_cells": len(grid.cells),
                 "total_cells": grid.total_cells,
             },
+        )
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import (
+            analytic_grid,
+            empty_prediction,
+            exact_grid,
+        )
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            crossing_fraction,
+            split_factor,
+        )
+
+        conf = conf or PredictConfig()
+        self._check_query(query)
+        if conf.exact:
+            return exact_grid(self, query, conf)
+        try:
+            graph = JoinGraph(query)
+        except UnsatisfiableQueryError:
+            return empty_prediction(
+                self.name, conf, "join graph unsatisfiable; no jobs run"
+            )
+        grid_parts = self.grid_parts or conf.num_partitions
+        if isinstance(grid_parts, int):
+            per_dim = [grid_parts] * len(graph.components)
+        else:
+            per_dim = list(grid_parts)
+        grid = analytic_grid(graph, per_dim)
+        cells = max(1, len(grid.cells))
+        multi = [c for c in graph.components if len(c.terms) > 1]
+        cycles = []
+        flag_load = 0.0
+        if multi:
+            reads = 0.0
+            out = 0.0
+            for comp in multi:
+                o = per_dim[comp.index]
+                for term in comp.terms:
+                    n = profile.rows_per_relation.get(term.relation, 0)
+                    reads += n
+                    out += n * split_factor(profile, o)
+            reduce_tasks = max(1, sum(per_dim[c.index] for c in multi))
+            flag_load = out / reduce_tasks
+            cycles.append(
+                CyclePrediction(
+                    name=f"{self.name}-flag",
+                    records_read=reads,
+                    map_output_records=out,
+                    shuffled_records=out,
+                    reduce_tasks=reduce_tasks,
+                    max_reducer_load=flag_load,
+                )
+            )
+        reads = 0.0
+        out = 0.0
+        terms_by_relation: Dict[str, List[Term]] = defaultdict(list)
+        for term in query.terms:
+            terms_by_relation[term.relation].append(term)
+        for name in query.relations:
+            n = profile.rows_per_relation.get(name, 0)
+            reads += n
+            # Fraction of the consistent cells one row reaches: on each
+            # of its term dimensions the coordinate is pinned (1/o), or —
+            # for replicated rows of multi-term components — widened to
+            # the upper tail range(q, o), (o+1)/(2o) on average.
+            fraction = 1.0
+            for term in terms_by_relation[name]:
+                comp = graph.component_of(term)
+                o = per_dim[comp.index]
+                if len(comp.terms) > 1:
+                    crossing = crossing_fraction(profile, o)
+                    fraction *= (1.0 - crossing) / o + crossing * (
+                        o + 1
+                    ) / (2.0 * o)
+                else:
+                    fraction *= 1.0 / o
+            out += n * len(grid.cells) * fraction
+        join_load = out / cells
+        cycles.append(
+            CyclePrediction(
+                name=f"{self.name}-join",
+                records_read=reads,
+                map_output_records=out,
+                shuffled_records=out,
+                reduce_tasks=cells,
+                max_reducer_load=join_load,
+            )
+        )
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=tuple(cycles),
+            max_reducer_load=max(flag_load, join_load),
+            consistent_reducers=len(grid.cells),
+            total_reducers=grid.total_cells,
         )
 
 

@@ -330,6 +330,118 @@ class FCTS(JoinAlgorithm):
         record_algorithm_metrics(observer, metrics)
         return JoinResult(query, tuples, metrics)
 
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import (
+            analytic_grid,
+            empty_prediction,
+            exact_fcts,
+        )
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            condition_selectivity,
+            crossing_fraction,
+            replicate_fanout,
+            split_factor,
+        )
+
+        conf = conf or PredictConfig()
+        if not query.is_single_attribute:
+            raise PlanningError("FCTS handles single-attribute queries")
+        if conf.exact:
+            return exact_fcts(self, query, conf)
+        try:
+            graph = JoinGraph(query)
+        except UnsatisfiableQueryError:
+            return empty_prediction(
+                self.name, conf, "join graph unsatisfiable; no jobs run"
+            )
+        parts = conf.num_partitions
+        intra_seq = [
+            cond
+            for cond in _cross_component_conditions(query, graph)
+            if graph.component_of(cond.left).index
+            == graph.component_of(cond.right).index
+        ]
+        cycles = []
+        rccis_load = 0.0
+        partial_counts = []
+        for component in graph.components:
+            relations = sorted({t.relation for t in component.terms})
+            if len(component.terms) == 1:
+                partial_counts.append(
+                    float(profile.rows_per_relation.get(relations[0], 0))
+                )
+                continue
+            comp_reads = float(
+                sum(profile.rows_per_relation.get(r, 0) for r in relations)
+            )
+            crossing = crossing_fraction(profile, parts)
+            out_flag = comp_reads * split_factor(profile, parts)
+            out_join = comp_reads * (
+                (1.0 - crossing) + crossing * replicate_fanout(parts)
+            )
+            cycles.append(
+                CyclePrediction(
+                    name="rccis-flag",
+                    records_read=comp_reads,
+                    map_output_records=out_flag,
+                    shuffled_records=out_flag,
+                    reduce_tasks=parts,
+                    max_reducer_load=out_flag / parts,
+                )
+            )
+            cycles.append(
+                CyclePrediction(
+                    name="rccis-join",
+                    records_read=comp_reads,
+                    map_output_records=out_join,
+                    shuffled_records=out_join,
+                    reduce_tasks=parts,
+                    max_reducer_load=out_join / parts,
+                )
+            )
+            # All RCCIS sub-runs share one (rccis, partition) key space
+            # after ExecutionMetrics.combine, so their loads sum.
+            rccis_load += (out_flag + out_join) / parts
+            count = 1.0
+            for r in relations:
+                count *= profile.rows_per_relation.get(r, 0)
+            for cond in component.conditions:
+                count *= condition_selectivity(cond, profile)
+            for cond in intra_seq:
+                if {cond.left.relation, cond.right.relation} <= set(
+                    relations
+                ):
+                    count *= condition_selectivity(cond, profile)
+            partial_counts.append(count)
+        grid_o = self.grid_parts or parts
+        grid = analytic_grid(graph, [grid_o] * len(graph.components))
+        cells = max(1, len(grid.cells))
+        reads = sum(partial_counts)
+        # Each partial is pinned to one coordinate on its own dimension.
+        out = sum(partial_counts) * len(grid.cells) / grid_o
+        matrix_load = out / cells
+        cycles.append(
+            CyclePrediction(
+                name="fcts-matrix",
+                records_read=reads,
+                map_output_records=out,
+                shuffled_records=out,
+                reduce_tasks=cells,
+                max_reducer_load=matrix_load,
+            )
+        )
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=tuple(cycles),
+            max_reducer_load=max(rccis_load, matrix_load),
+            consistent_reducers=len(grid.cells),
+            total_reducers=grid.total_cells,
+        )
+
 
 class FSTC(JoinAlgorithm):
     """First Sequence Then Colocation."""
@@ -513,3 +625,132 @@ class FSTC(JoinAlgorithm):
         }
         record_algorithm_metrics(observer, metrics)
         return JoinResult(query, tuples, metrics)
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import (
+            analytic_grid,
+            exact_fstc,
+            operator_fanout,
+        )
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            condition_selectivity,
+        )
+
+        conf = conf or PredictConfig()
+        if query.query_class is not QueryClass.HYBRID:
+            raise PlanningError("FSTC handles hybrid queries")
+        if conf.exact:
+            return exact_fstc(self, query, conf)
+        sequence_conditions = [c for c in query.conditions if c.is_sequence]
+        try:
+            seq_query = IntervalJoinQuery(sequence_conditions)
+        except Exception as exc:
+            raise PlanningError(
+                "FSTC requires the sequence conditions to form a connected "
+                f"sub-query: {exc}"
+            ) from exc
+        parts = conf.num_partitions
+        grid_o = self.grid_parts or parts
+        seq_graph = JoinGraph(seq_query)
+        grid = analytic_grid(
+            seq_graph, [grid_o] * len(seq_graph.components)
+        )
+        cells = max(1, len(grid.cells))
+        seq_reads = float(
+            sum(
+                profile.rows_per_relation.get(name, 0)
+                for name in seq_query.relations
+            )
+        )
+        seq_out = seq_reads * len(grid.cells) / grid_o
+        seq_load = seq_out / cells
+        cycles = [
+            CyclePrediction(
+                name="all_matrix-join",
+                records_read=seq_reads,
+                map_output_records=seq_out,
+                shuffled_records=seq_out,
+                reduce_tasks=cells,
+                max_reducer_load=seq_load,
+            )
+        ]
+        partials = 1.0
+        for name in seq_query.relations:
+            partials *= profile.rows_per_relation.get(name, 0)
+        for cond in sequence_conditions:
+            partials *= condition_selectivity(cond, profile)
+
+        colocation_load = 0.0
+        bound = list(seq_query.relations)
+        remaining = [n for n in query.relations if n not in bound]
+        while remaining:
+            nxt = None
+            routing = None
+            for candidate in remaining:
+                for cond in query.conditions:
+                    names = {cond.left.relation, cond.right.relation}
+                    if (
+                        candidate in names
+                        and (names - {candidate}) <= set(bound)
+                        and cond.is_colocation
+                    ):
+                        nxt, routing = candidate, cond
+                        break
+                if nxt:
+                    break
+            if nxt is None or routing is None:
+                raise PlanningError(
+                    "FSTC could not attach remaining relations "
+                    f"{remaining} through colocation conditions"
+                )
+            step_conditions = [
+                cond
+                for cond in query.conditions
+                if nxt in (cond.left.relation, cond.right.relation)
+                and ({cond.left.relation, cond.right.relation} - {nxt})
+                <= set(bound)
+            ]
+            bound_is_left = routing.left.relation != nxt
+            bound_op = (
+                routing.predicate.left_operator
+                if bound_is_left
+                else routing.predicate.right_operator
+            )
+            new_op = (
+                routing.predicate.right_operator
+                if bound_is_left
+                else routing.predicate.left_operator
+            )
+            n_new = profile.rows_per_relation.get(nxt, 0)
+            out = partials * operator_fanout(
+                bound_op, profile, parts
+            ) + n_new * operator_fanout(new_op, profile, parts)
+            load = out / parts
+            colocation_load += load
+            cycles.append(
+                CyclePrediction(
+                    name=f"fstc-{nxt}",
+                    records_read=partials + n_new,
+                    map_output_records=out,
+                    shuffled_records=out,
+                    reduce_tasks=parts,
+                    max_reducer_load=load,
+                )
+            )
+            selectivity = 1.0
+            for cond in step_conditions:
+                selectivity *= condition_selectivity(cond, profile)
+            partials *= n_new * selectivity
+            bound.append(nxt)
+            remaining.remove(nxt)
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=tuple(cycles),
+            max_reducer_load=max(seq_load, colocation_load),
+            consistent_reducers=parts,
+            total_reducers=parts,
+        )

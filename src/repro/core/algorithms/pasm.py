@@ -310,3 +310,114 @@ class PASM(JoinAlgorithm):
             },
         )
         return result
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import (
+            analytic_grid,
+            empty_prediction,
+            exact_pasm,
+        )
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            crossing_fraction,
+            replicate_fanout,
+            split_factor,
+        )
+
+        conf = conf or PredictConfig()
+        if not query.is_single_attribute:
+            raise PlanningError("PASM handles single-attribute queries")
+        if conf.exact:
+            return exact_pasm(self, query, conf)
+        try:
+            graph = JoinGraph(query)
+        except UnsatisfiableQueryError:
+            return empty_prediction(
+                self.name, conf, "join graph unsatisfiable; no jobs run"
+            )
+        o = self.grid_parts or conf.num_partitions
+        grid = analytic_grid(graph, [o] * len(graph.components))
+        cells = max(1, len(grid.cells))
+        multi = [c for c in graph.components if len(c.terms) > 1]
+        cycles = []
+        flag_mark_load = 0.0
+        if multi:
+            crossing = crossing_fraction(profile, o)
+            multi_reads = 0.0
+            for comp in multi:
+                for term in comp.terms:
+                    multi_reads += profile.rows_per_relation.get(
+                        term.relation, 0
+                    )
+            out_flag = multi_reads * split_factor(profile, o)
+            out_mark = multi_reads * (
+                (1.0 - crossing) + crossing * replicate_fanout(o)
+            )
+            reduce_tasks = max(1, o * len(multi))
+            cycles.append(
+                CyclePrediction(
+                    name="pasm-flag",
+                    records_read=multi_reads,
+                    map_output_records=out_flag,
+                    shuffled_records=out_flag,
+                    reduce_tasks=reduce_tasks,
+                    max_reducer_load=out_flag / reduce_tasks,
+                )
+            )
+            cycles.append(
+                CyclePrediction(
+                    name="pasm-mark",
+                    records_read=multi_reads,
+                    map_output_records=out_mark,
+                    shuffled_records=out_mark,
+                    reduce_tasks=reduce_tasks,
+                    max_reducer_load=out_mark / reduce_tasks,
+                )
+            )
+            # Flag + mark cycles share the (component, partition) key
+            # space, so their loads collide and sum.
+            flag_mark_load = (out_flag + out_mark) / reduce_tasks
+        reads = 0.0
+        out = 0.0
+        terms_by_relation: Dict[str, List[Term]] = defaultdict(list)
+        for term in query.terms:
+            terms_by_relation[term.relation].append(term)
+        for name in query.relations:
+            n = profile.rows_per_relation.get(name, 0)
+            reads += n
+            fraction = 1.0
+            for term in terms_by_relation[name]:
+                comp = graph.component_of(term)
+                if len(comp.terms) > 1:
+                    crossing = crossing_fraction(profile, o)
+                    fraction *= (1.0 - crossing) / o + crossing * (
+                        o + 1
+                    ) / (2.0 * o)
+                else:
+                    fraction *= 1.0 / o
+            out += n * len(grid.cells) * fraction
+        join_load = out / cells
+        cycles.append(
+            CyclePrediction(
+                name="pasm-join",
+                records_read=reads,
+                map_output_records=out,
+                shuffled_records=out,
+                reduce_tasks=cells,
+                max_reducer_load=join_load,
+            )
+        )
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=tuple(cycles),
+            max_reducer_load=max(flag_mark_load, join_load),
+            consistent_reducers=len(grid.cells),
+            total_reducers=grid.total_cells,
+            notes=(
+                "marking-cycle pruning not modelled: the join cycle is "
+                "an upper bound (assumes every row survives)",
+            ),
+        )

@@ -156,7 +156,6 @@ class JoinReducer(Reducer):
         self.query = query
         self.attributes = dict(attributes)
         self.partitioning = partitioning
-        self._joiners: Dict[str, LocalJoiner] = {}
 
     def reduce(
         self, key: Hashable, values: List[Tuple[str, Row]], context: ReduceContext
@@ -195,12 +194,11 @@ class JoinReducer(Reducer):
                     candidates[name] = local_rows[anchor]
                 else:
                     candidates[name] = old_rows.get(name, [])
-            joiner = self._joiners.get(anchor)
-            if joiner is None:
-                joiner = LocalJoiner(self.query, count, start_with=anchor)
-                self._joiners[anchor] = joiner
-            else:
-                joiner._count = count
+            # Built per call: this reducer instance is shared across
+            # concurrently-running tasks under the threads executor, so
+            # a cached joiner's count callback would attribute one
+            # task's comparisons to another's counters.
+            joiner = LocalJoiner(self.query, count, start_with=anchor)
             for tuple_rows in joiner.join(candidates):
                 context.emit(tuple_rows)
 
@@ -272,4 +270,55 @@ class RCCIS(JoinAlgorithm):
         return self._finish(
             query, pipeline, cost_model, tuples,
             shape={"partition_intervals": len(parts), "cycles": 2},
+        )
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import exact_rccis
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+            crossing_fraction,
+            replicate_fanout,
+            split_factor,
+        )
+
+        conf = conf or PredictConfig()
+        if conf.exact:
+            return exact_rccis(self, query, conf)
+        parts = conf.num_partitions
+        n = profile.total_rows
+        out_flag = n * split_factor(profile, parts)
+        crossing = crossing_fraction(profile, parts)
+        # Flag records: each row re-emerges exactly once (at the partition
+        # its interval starts in), flagged or not.
+        out_join = n * (
+            (1.0 - crossing) + crossing * replicate_fanout(parts)
+        )
+        cycles = (
+            CyclePrediction(
+                name="rccis-flag",
+                records_read=float(n),
+                map_output_records=out_flag,
+                shuffled_records=out_flag,
+                reduce_tasks=parts,
+                max_reducer_load=out_flag / parts,
+            ),
+            CyclePrediction(
+                name="rccis-join",
+                records_read=float(n),
+                map_output_records=out_join,
+                shuffled_records=out_join,
+                reduce_tasks=parts,
+                max_reducer_load=out_join / parts,
+            ),
+        )
+        # Both cycles key by partition index, so loads collide and sum.
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=cycles,
+            max_reducer_load=(out_flag + out_join) / parts,
+            consistent_reducers=parts,
+            total_reducers=parts,
         )

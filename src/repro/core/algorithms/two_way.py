@@ -132,3 +132,47 @@ class TwoWayJoin(JoinAlgorithm):
             query, pipeline, cost_model, tuples,
             shape={"partition_intervals": len(parts), "cycles": 1},
         )
+
+    def predict(self, query, profile, conf=None):
+        from repro.core.predict import exact_two_way, operator_fanout
+        from repro.core.tuning import (
+            CyclePrediction,
+            PlanPrediction,
+            PredictConfig,
+        )
+
+        conf = conf or PredictConfig()
+        if len(query.conditions) != 1 or len(query.relations) != 2:
+            raise PlanningError(
+                "TwoWayJoin handles exactly one condition over two relations"
+            )
+        if conf.exact:
+            return exact_two_way(self, query, conf)
+        condition = query.conditions[0]
+        parts = conf.num_partitions
+        reads = 0.0
+        out = 0.0
+        for term, operator in (
+            (condition.left, condition.predicate.left_operator),
+            (condition.right, condition.predicate.right_operator),
+        ):
+            n = profile.rows_per_relation.get(term.relation, 0)
+            reads += n
+            out += n * operator_fanout(operator, profile, parts)
+        load = out / parts
+        cycle = CyclePrediction(
+            name="two-way",
+            records_read=reads,
+            map_output_records=out,
+            shuffled_records=out,
+            reduce_tasks=parts,
+            max_reducer_load=load,
+        )
+        return PlanPrediction(
+            algorithm=self.name,
+            cost_model=conf.cost_model,
+            cycles=(cycle,),
+            max_reducer_load=load,
+            consistent_reducers=parts,
+            total_reducers=parts,
+        )

@@ -96,6 +96,7 @@ def execute(
                     kind="query",
                     query_class=query.query_class.name,
                     planner_empty=True,
+                    empty_proof=chosen.empty_proof,
                 ):
                     pass
             return JoinResult(query, [], metrics)
@@ -130,9 +131,44 @@ def execute(
 
     if observer is None:
         return _run()
+
+    # Pre-run plan prediction (analytic: the profile and the config are
+    # its only inputs, so it is executor- and fault-invariant) plus the
+    # post-run reconciliation — both recorded as spans and run-group
+    # gauges.  Strictly observational: the run itself is untouched.
+    from repro.core.tuning import PredictConfig, profile_data
+    from repro.errors import ReproError
+    from repro.obs.explain import PlanReconciliation
+
+    prediction = None
+    prediction_error: Optional[str] = None
+    try:
+        prediction = runner.predict(
+            query,
+            profile_data(query, data),
+            PredictConfig(
+                num_partitions=num_partitions, cost_model=cost_model
+            ),
+        )
+    except ReproError as exc:
+        prediction_error = str(exc)
+
     with observer.span(
         f"query:{query}", kind="query", query_class=query.query_class.name
     ):
+        plan_attributes = {"algorithm": runner.name}
+        if prediction is not None:
+            plan_attributes.update(
+                tier=prediction.tier,
+                quantities=prediction.quantities(),
+                prediction=prediction.as_dict(),
+            )
+        else:
+            plan_attributes["prediction_error"] = prediction_error
+        with observer.span(
+            f"plan:{runner.name}", kind="plan", **plan_attributes
+        ):
+            pass
         with observer.span(
             f"algorithm:{runner.name}", kind="algorithm", algorithm=runner.name
         ) as algo_span:
@@ -142,5 +178,20 @@ def execute(
                 cycles=result.metrics.num_cycles,
                 shuffled_records=result.metrics.shuffled_records,
                 modelled_seconds=result.metrics.simulated_seconds,
+                observed_quantities=result.metrics.observed_quantities(),
             )
-            return result
+        if prediction is not None:
+            reconciliation = PlanReconciliation.from_metrics(
+                prediction, result.metrics
+            )
+            with observer.span(
+                f"reconciliation:{runner.name}",
+                kind="reconciliation",
+                algorithm=reconciliation.algorithm,
+                tier=reconciliation.tier,
+                rows=[row.as_dict() for row in reconciliation.rows],
+                max_relative_error=reconciliation.max_relative_error,
+            ):
+                pass
+            reconciliation.publish(observer.metrics)
+        return result

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import QueryError, UnsatisfiableQueryError
 from repro.intervals.composition import ConstraintNetwork, path_consistency
@@ -140,6 +140,7 @@ class JoinGraph:
             in either case no tuple can satisfy the query.
         """
         orders: Set[Tuple[int, int]] = set()
+        origin: Dict[Tuple[int, int], JoinCondition] = {}
         for cond in self.query.conditions:
             if not cond.is_sequence:
                 continue
@@ -157,16 +158,24 @@ class JoinGraph:
                 pair = (ci, cj)
             else:
                 pair = (cj, ci)
-            if (pair[1], pair[0]) in orders:
+            reverse = (pair[1], pair[0])
+            if reverse in orders:
                 raise UnsatisfiableQueryError(
                     "conditions enforce opposite orders between components "
-                    f"{pair[0]} and {pair[1]}; the query output is empty"
+                    f"{pair[0]} and {pair[1]} "
+                    f"({origin[reverse]} vs {cond}); "
+                    "the query output is empty"
                 )
             orders.add(pair)
-        self._check_acyclic(orders)
+            origin.setdefault(pair, cond)
+        self._check_acyclic(orders, origin)
         return frozenset(orders)
 
-    def _check_acyclic(self, orders: Set[Tuple[int, int]]) -> None:
+    def _check_acyclic(
+        self,
+        orders: Set[Tuple[int, int]],
+        origin: Dict[Tuple[int, int], JoinCondition],
+    ) -> None:
         """Sequence orders are strict (before/after), so a directed cycle
         proves emptiness."""
         successors: Dict[int, Set[int]] = defaultdict(set)
@@ -178,9 +187,13 @@ class JoinGraph:
             state[node] = 0
             for nxt in successors[node]:
                 if state.get(nxt) == 0:
+                    conditions = ", ".join(
+                        str(cond) for cond in origin.values()
+                    )
                     raise UnsatisfiableQueryError(
                         "sequence conditions order components in a cycle "
-                        f"through {nxt}; the query output is empty"
+                        f"through {nxt} (predicate cycle: {conditions}); "
+                        "the query output is empty"
                     )
                 if nxt not in state:
                     visit(nxt, stack + (node,))
@@ -205,11 +218,35 @@ class JoinGraph:
         Returns True when provably empty (sound); False means "unknown",
         never "non-empty".
         """
+        return self.empty_proof() is not None
+
+    def empty_proof(self) -> Optional[str]:
+        """A human-readable emptiness proof, or ``None`` when unknown.
+
+        Runs Allen path consistency over the query's constraint network;
+        when some constraint empties, the proof names the term pair and
+        the query conditions touching it (the unsatisfiable predicate
+        cycle), so EXPLAIN can print *why* the planner answers without
+        running a job.  ``None`` means "not provably empty", never
+        "non-empty" — path consistency is sound but incomplete.
+        """
         try:
             path_consistency(self.constraint_network())
-        except UnsatisfiableQueryError:
-            return True
-        return False
+        except UnsatisfiableQueryError as exc:
+            proof = str(exc)
+            pair = getattr(exc, "pair", None)
+            if pair:
+                involved = [
+                    str(cond)
+                    for cond in self.query.conditions
+                    if str(cond.left) in pair or str(cond.right) in pair
+                ]
+                if involved:
+                    proof += (
+                        "; conflicting conditions: " + ", ".join(involved)
+                    )
+            return proof
+        return None
 
 
 def component_order_matrix(

@@ -141,6 +141,20 @@ class ExecutionMetrics:
             return 0.0
         return sum(self.reducer_loads.values()) / len(self.reducer_loads)
 
+    def observed_quantities(self) -> Dict[str, float]:
+        """The run-measured values of exactly the quantities
+        :meth:`repro.core.tuning.PlanPrediction.quantities` predicts —
+        the observed side of every plan reconciliation."""
+        return {
+            "records_read": float(self.records_read),
+            "map_output_records": float(self.map_output_records),
+            "shuffled_records": float(self.shuffled_records),
+            "replication_factor": float(self.replication_factor),
+            "max_reducer_load": float(self.max_reducer_load),
+            "num_cycles": float(self.num_cycles),
+            "modelled_seconds": float(self.simulated_seconds),
+        }
+
 
 class JoinResult:
     """The output of one join execution.

@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
 from repro.core.graph import JoinGraph
-from repro.core.query import IntervalJoinQuery, QueryClass
+from repro.core.query import IntervalJoinQuery, JoinCondition, QueryClass
 from repro.core.schema import Relation
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 
@@ -36,6 +36,14 @@ __all__ = [
     "profile_data",
     "recommend_partitions",
     "recommend_grid",
+    "PredictConfig",
+    "CyclePrediction",
+    "PlanPrediction",
+    "split_factor",
+    "crossing_fraction",
+    "replicate_fanout",
+    "condition_selectivity",
+    "cycle_seconds",
 ]
 
 
@@ -356,3 +364,225 @@ def recommend_grid(
     return TuningReport(
         best=best, candidates=tuple(evaluated), algorithm="grid"
     )
+
+
+# ----------------------------------------------------------------------
+# Plan prediction: the EXPLAIN-facing contract shared by all algorithms.
+#
+# ``JoinAlgorithm.predict`` (see ``repro.core.algorithms.base``) returns a
+# :class:`PlanPrediction` — per-cycle communication volumes plus grid
+# shape — computed either *analytically* from a :class:`DataProfile`
+# alone (the closed-form Section-6 style formulas below) or *exactly* by
+# dry-running the algorithm's real mappers and decision reducers over the
+# data (``repro.core.predict``).  The reconciliation layer
+# (``repro.obs.explain``) joins these numbers against the observed
+# ``ExecutionMetrics``/``MetricsRegistry`` values after the run.
+
+
+def split_factor(profile: DataProfile, parts: int) -> float:
+    """Expected SPLIT fan-out per row: 1 + mean length / partition width."""
+    width = profile.time_span / parts if parts else 0.0
+    return 1.0 + (profile.mean_length / width if width > 0 else 0.0)
+
+
+def crossing_fraction(profile: DataProfile, parts: int) -> float:
+    """Expected fraction of rows crossing their right partition boundary."""
+    width = profile.time_span / parts if parts else 0.0
+    return min(1.0, profile.mean_length / width) if width > 0 else 1.0
+
+
+def replicate_fanout(parts: int) -> float:
+    """Expected REPLICATE fan-out: a uniform start lands in partition
+    ``i`` and copies to partitions ``i..parts-1`` — ``(parts + 1) / 2``
+    on average."""
+    return (parts + 1) / 2.0
+
+
+def condition_selectivity(
+    condition: JoinCondition, profile: DataProfile
+) -> float:
+    """Coarse selectivity estimate for one Allen predicate.
+
+    Sequence predicates (``before``/``after``) hold for half of the
+    random pairs; colocation predicates require a shared point, which two
+    uniform intervals of mean length ``L`` over span ``T`` do with
+    probability about ``2 L / T``.  Deliberately rough — EXPLAIN reports
+    the resulting error, and ``check_model_error.py`` pins it.
+    """
+    if condition.predicate.is_sequence:
+        return 0.5
+    if profile.time_span <= 0:
+        return 1.0
+    return min(1.0, 2.0 * profile.mean_length / profile.time_span)
+
+
+def cycle_seconds(
+    cost: CostModel, reads: float, shuffled: float, max_load: float
+) -> float:
+    """Modelled seconds for one MR cycle, cost-model reduce-phase form.
+
+    Deliberately omits the comparison/output/queueing terms that the
+    observed :meth:`CostModel.job_time` includes — the residual is the
+    cost-model error that the reconciliation layer tracks.
+    """
+    return (
+        cost.per_cycle_overhead
+        + (reads / cost.parallelism) * cost.read_cost
+        + max(
+            shuffled / cost.parallelism * cost.shuffle_cost,
+            max_load * cost.shuffle_cost,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class PredictConfig:
+    """Inputs :meth:`JoinAlgorithm.predict` needs besides the profile."""
+
+    num_partitions: int = 16
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    #: ``True`` dry-runs the algorithm's real mappers + decision reducers
+    #: over the actual data (requires ``data``); default is the
+    #: closed-form analytic tier.
+    exact: bool = False
+    #: The actual relations, required by the exact tier.
+    data: Optional[Mapping[str, Relation]] = None
+
+    def require_data(self) -> Mapping[str, Relation]:
+        if self.data is None:
+            raise PlanningError(
+                "exact prediction dry-runs the mappers and needs data="
+            )
+        return self.data
+
+
+@dataclass(frozen=True)
+class CyclePrediction:
+    """Predicted communication volumes of one MapReduce cycle."""
+
+    name: str
+    records_read: float
+    map_output_records: float
+    shuffled_records: float
+    reduce_tasks: int
+    max_reducer_load: float
+
+    def seconds(self, cost: CostModel) -> float:
+        return cycle_seconds(
+            cost, self.records_read, self.shuffled_records,
+            self.max_reducer_load,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "records_read": self.records_read,
+            "map_output_records": self.map_output_records,
+            "shuffled_records": self.shuffled_records,
+            "reduce_tasks": self.reduce_tasks,
+            "max_reducer_load": self.max_reducer_load,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CyclePrediction":
+        return cls(
+            name=str(payload["name"]),
+            records_read=float(payload["records_read"]),
+            map_output_records=float(payload["map_output_records"]),
+            shuffled_records=float(payload["shuffled_records"]),
+            reduce_tasks=int(payload["reduce_tasks"]),
+            max_reducer_load=float(payload["max_reducer_load"]),
+        )
+
+
+@dataclass(frozen=True)
+class PlanPrediction:
+    """Predicted run-group quantities for a whole physical plan.
+
+    ``max_reducer_load`` is a plan-level figure (not the max of the
+    per-cycle figures): logical reducer keys collide across cycles and
+    ``ExecutionMetrics.from_pipeline`` sums loads per key across jobs, so
+    each algorithm's predictor accounts for key-space collisions itself.
+    """
+
+    algorithm: str
+    cost_model: CostModel
+    cycles: Tuple[CyclePrediction, ...]
+    max_reducer_load: float
+    consistent_reducers: int
+    total_reducers: int
+    tier: str = "analytic"
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def records_read(self) -> float:
+        return sum(c.records_read for c in self.cycles)
+
+    @property
+    def map_output_records(self) -> float:
+        return sum(c.map_output_records for c in self.cycles)
+
+    @property
+    def shuffled_records(self) -> float:
+        return sum(c.shuffled_records for c in self.cycles)
+
+    @property
+    def replication_factor(self) -> float:
+        reads = self.records_read
+        return self.map_output_records / reads if reads else 0.0
+
+    @property
+    def modelled_seconds(self) -> float:
+        return sum(c.seconds(self.cost_model) for c in self.cycles)
+
+    def quantities(self) -> Dict[str, float]:
+        """The quantities reconciliation compares, keyed as metrics are."""
+        return {
+            "records_read": self.records_read,
+            "map_output_records": self.map_output_records,
+            "shuffled_records": self.shuffled_records,
+            "replication_factor": self.replication_factor,
+            "max_reducer_load": self.max_reducer_load,
+            "num_cycles": float(self.num_cycles),
+            "modelled_seconds": self.modelled_seconds,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "tier": self.tier,
+            "consistent_reducers": self.consistent_reducers,
+            "total_reducers": self.total_reducers,
+            "max_reducer_load": self.max_reducer_load,
+            "cycles": [c.as_dict() for c in self.cycles],
+            "notes": list(self.notes),
+            "cost_model": {
+                "read_cost": self.cost_model.read_cost,
+                "shuffle_cost": self.cost_model.shuffle_cost,
+                "comparison_cost": self.cost_model.comparison_cost,
+                "output_cost": self.cost_model.output_cost,
+                "per_cycle_overhead": self.cost_model.per_cycle_overhead,
+                "parallelism": self.cost_model.parallelism,
+            },
+            "quantities": self.quantities(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PlanPrediction":
+        cost = CostModel(**payload["cost_model"])
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            cost_model=cost,
+            cycles=tuple(
+                CyclePrediction.from_dict(c) for c in payload["cycles"]
+            ),
+            max_reducer_load=float(payload["max_reducer_load"]),
+            consistent_reducers=int(payload["consistent_reducers"]),
+            total_reducers=int(payload["total_reducers"]),
+            tier=str(payload.get("tier", "analytic")),
+            notes=tuple(payload.get("notes", ())),
+        )

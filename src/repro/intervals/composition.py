@@ -116,6 +116,16 @@ def invert_set(relations: RelationSet) -> RelationSet:
     return frozenset(ALLEN_PREDICATES[name].inverse_name for name in relations)
 
 
+def _unsatisfiable_pair(
+    message: str, pair: Tuple[str, str]
+) -> UnsatisfiableQueryError:
+    """An emptiness error carrying the variable pair whose constraint
+    emptied, so callers (EXPLAIN) can name the conflicting conditions."""
+    error = UnsatisfiableQueryError(message)
+    error.pair = pair  # type: ignore[attr-defined]
+    return error
+
+
 class ConstraintNetwork:
     """A qualitative constraint network over named temporal variables.
 
@@ -157,8 +167,8 @@ class ConstraintNetwork:
         names = frozenset(get_predicate(r).name for r in relations)
         updated = self.constraint(a, b) & names
         if not updated:
-            raise UnsatisfiableQueryError(
-                f"constraint between {a!r} and {b!r} became empty"
+            raise _unsatisfiable_pair(
+                f"constraint between {a!r} and {b!r} became empty", (a, b)
             )
         self._edges[(a, b)] = updated
         self._edges[(b, a)] = invert_set(updated)
@@ -199,8 +209,9 @@ def path_consistency(network: ConstraintNetwork) -> ConstraintNetwork:
             )
             if tightened != net.constraint(i, k):
                 if not tightened:
-                    raise UnsatisfiableQueryError(
-                        f"path consistency emptied constraint ({i!r}, {k!r})"
+                    raise _unsatisfiable_pair(
+                        f"path consistency emptied constraint ({i!r}, {k!r})",
+                        (i, k),
                     )
                 net._edges[(i, k)] = tightened
                 net._edges[(k, i)] = invert_set(tightened)
@@ -211,8 +222,9 @@ def path_consistency(network: ConstraintNetwork) -> ConstraintNetwork:
             )
             if tightened != net.constraint(k, j):
                 if not tightened:
-                    raise UnsatisfiableQueryError(
-                        f"path consistency emptied constraint ({k!r}, {j!r})"
+                    raise _unsatisfiable_pair(
+                        f"path consistency emptied constraint ({k!r}, {j!r})",
+                        (k, j),
                     )
                 net._edges[(k, j)] = tightened
                 net._edges[(j, k)] = invert_set(tightened)

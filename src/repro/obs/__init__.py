@@ -18,6 +18,10 @@ wall-clock duration, counter deltas, and cost-model charges.
   replication factor, grid utilisation and key-skew histograms
 * analysis — :class:`RunReport` flags skewed reducers, stragglers and
   empty-output tasks using the Section-7 load statistics
+* explain — :func:`explain_query` renders the pre-run physical plan
+  (planner rationale, cycles, grid shape, kernels, analytic cost-model
+  predictions) and :class:`PlanReconciliation` joins those predictions
+  against the observed metrics after the run
 * dashboard — :func:`render_dashboard` emits one self-contained HTML
   page (``repro report --html``) with phase timelines, reducer-load
   charts and the replication/skew tables
@@ -27,6 +31,13 @@ recorded and results, counters and benchmark numbers are unchanged.
 """
 
 from repro.obs.dashboard import dashboard_from_recorder, render_dashboard
+from repro.obs.explain import (
+    PlanExplain,
+    PlanReconciliation,
+    ReconciliationRow,
+    explain_query,
+    reconciliation_from_spans,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -66,4 +77,9 @@ __all__ = [
     "Histogram",
     "render_dashboard",
     "dashboard_from_recorder",
+    "PlanExplain",
+    "PlanReconciliation",
+    "ReconciliationRow",
+    "explain_query",
+    "reconciliation_from_spans",
 ]

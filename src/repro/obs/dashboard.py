@@ -16,6 +16,10 @@ Sections, in reading order:
   span's recorded ``reduce_task_loads`` (the paper's Figure 4, per run);
 * **skew table** — the Section-7 statistics per job: p50/p95/max load,
   Gini, Jain fairness, imbalance, replication factor;
+* **plan panel** — the cost model's predicted-vs-observed scorecard
+  per algorithm and quantity (replication, shuffle, max load, ...),
+  worst offender first, from the trace's plan/reconciliation spans or
+  the ``repro_plan_*`` gauges of a metrics snapshot;
 * **algorithm tables** — replication factor and consistent-vs-total
   grid-reducer utilisation per algorithm, read from the metrics
   snapshot when one is supplied.
@@ -429,6 +433,73 @@ def _algorithm_tables(metrics: Optional[Mapping[str, Any]]) -> str:
     return "".join(sections)
 
 
+def _plan_panel(
+    spans: Sequence[Span], metrics: Optional[Mapping[str, Any]]
+) -> str:
+    """The predicted-vs-observed cost-model scorecard.
+
+    Rows come from the trace's ``plan``/``algorithm`` span pairs when
+    present (live recorder or reloaded JSONL), otherwise from the
+    ``repro_plan_*`` gauges of a metrics snapshot; worst offender
+    (largest absolute relative error) first.
+    """
+    from repro.obs.explain import reconciliation_from_spans, relative_error
+
+    rows: List[Tuple[str, str, float, float, float]] = []
+    for reconciliation in reconciliation_from_spans(spans):
+        for row in reconciliation.rows:
+            rows.append(
+                (
+                    reconciliation.algorithm,
+                    row.quantity,
+                    row.predicted,
+                    row.observed,
+                    row.error,
+                )
+            )
+    if not rows:
+        observed = {
+            (labels["algorithm"], labels["quantity"]): value
+            for labels, value in _metric_samples(
+                metrics, "repro_plan_observed"
+            )
+        }
+        for labels, value in _metric_samples(metrics, "repro_plan_predicted"):
+            key = (labels["algorithm"], labels["quantity"])
+            if key in observed:
+                rows.append(
+                    (
+                        key[0],
+                        key[1],
+                        value,
+                        observed[key],
+                        relative_error(value, observed[key]),
+                    )
+                )
+    if not rows:
+        return ""
+    rows.sort(key=lambda r: (-abs(r[4]), r[0], r[1]))
+    table_rows = [
+        (
+            algorithm,
+            quantity,
+            _fmt(predicted, 3),
+            _fmt(observed_value, 3),
+            f"{error:+.2%}",
+        )
+        for algorithm, quantity, predicted, observed_value, error in rows
+    ]
+    return (
+        "<h2>Plan &#183; predicted vs observed</h2>"
+        '<div class="card">'
+        + _table(
+            ("algorithm", "quantity", "predicted", "observed", "rel error"),
+            table_rows,
+        )
+        + "</div>"
+    )
+
+
 def _metrics_overview(metrics: Optional[Mapping[str, Any]]) -> str:
     if not metrics:
         return ""
@@ -503,6 +574,7 @@ def render_dashboard(
         load_cards or '<p class="sub">no jobs recorded</p>',
         "<h2>Skew &amp; replication per job</h2>",
         f'<div class="card">{_skew_table(jobs)}</div>',
+        _plan_panel(spans, metrics),
         _algorithm_tables(metrics),
         _metrics_overview(metrics),
         "</body></html>",

@@ -19,6 +19,12 @@ report also aggregates a :class:`FaultSummary` — failed / retried /
 speculatively-wasted attempt counts from the ``faults`` counter group
 plus the wall-clock spent in failed and speculative attempts (the
 ``kind="attempt"`` spans), i.e. the run's retry & speculation overhead.
+
+When the trace carries plan predictions (``kind="plan"`` spans, emitted
+whenever :func:`repro.core.executor.execute` runs with an observer),
+the report also joins them against the observed per-algorithm
+quantities as :class:`~repro.obs.explain.PlanReconciliation` rows —
+the predicted-vs-actual cost-model scorecard.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.stats.metrics import LoadBalance, load_balance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.job import JobResult
+    from repro.obs.explain import PlanReconciliation
     from repro.obs.recorder import TraceRecorder
 
 __all__ = ["TaskFlag", "JobLoadSummary", "FaultSummary", "RunReport"]
@@ -116,11 +123,15 @@ class RunReport:
         jobs: List[JobLoadSummary],
         flags: List[TaskFlag],
         faults: Optional[FaultSummary] = None,
+        reconciliations: Sequence["PlanReconciliation"] = (),
     ) -> None:
         self.jobs = jobs
         self.flags = flags
         #: retry/speculation overhead; zeros on fault-free runs.
         self.faults = faults if faults is not None else FaultSummary()
+        #: predicted-vs-observed plan scorecards, one per algorithm
+        #: whose trace carried a prediction; empty without plan spans.
+        self.reconciliations = list(reconciliations)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -213,7 +224,14 @@ class RunReport:
                 spans, straggler_factor, min_straggler_seconds
             )
         )
-        return cls(jobs, flags, cls._fault_summary(job_results, spans))
+        from repro.obs.explain import reconciliation_from_spans
+
+        return cls(
+            jobs,
+            flags,
+            cls._fault_summary(job_results, spans),
+            reconciliation_from_spans(spans),
+        )
 
     @staticmethod
     def _hot_keys(result: "JobResult", top_keys: int) -> List[Tuple[str, int]]:
@@ -389,6 +407,11 @@ class RunReport:
             lines.append(
                 f"  [{flag.reason}] {flag.job} task {flag.task_index}: "
                 f"{flag.detail}"
+            )
+        for reconciliation in self.reconciliations:
+            lines.append("")
+            lines.extend(
+                "  " + line for line in reconciliation.render().splitlines()
             )
         return "\n".join(lines)
 
