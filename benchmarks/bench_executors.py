@@ -7,7 +7,10 @@ outputs along the way.  Results go to ``BENCH_executors.json`` (see
 :func:`common.emit_bench_json`) with the host CPU count recorded — the
 processes backend can only beat serial when the machine has cores to
 spare; on a single-core host the JSON documents that honestly instead of
-faking a speedup.
+faking a speedup.  Each workload row also carries a per-executor
+``phases`` breakdown — map/shuffle/reduce wall seconds summed from the
+phase spans of one observed (untimed) run per executor — so a slowdown
+can be localised to the phase that caused it.
 
 Run directly (``python benchmarks/bench_executors.py``) for the full
 sweep, or via pytest-benchmark for the small pinned configurations.
@@ -80,11 +83,39 @@ def _timed_run(query, data, algorithm, executor, workers):
     return result, elapsed
 
 
+def phase_breakdown(query, data, algorithm, executor, workers):
+    """Per-phase (map/shuffle/reduce) wall seconds of one observed run.
+
+    A separate run from the timed ones, so the observer's overhead never
+    perturbs the headline numbers; phase spans of every job are summed
+    by phase name.
+    """
+    from repro.obs import TraceRecorder
+
+    observer = TraceRecorder()
+    execute(
+        query,
+        data,
+        algorithm=algorithm,
+        num_partitions=8,
+        executor=executor,
+        workers=workers,
+        observer=observer,
+    )
+    observer.close()
+    totals = {"map": 0.0, "shuffle": 0.0, "reduce": 0.0}
+    for span in observer.spans:
+        if span.kind == "phase" and span.name in totals:
+            totals[span.name] += span.duration
+    return {phase: round(seconds, 4) for phase, seconds in totals.items()}
+
+
 def run_workload(label, algorithm, query, names, n, workers, repeats=3):
     """Best-of-``repeats`` wall-clock per executor, with parity checked."""
     data = make_data(names, n)
     row = {"workload": label, "algorithm": algorithm, "rows": n}
     baseline_ids = None
+    phases = {}
     for executor in EXECUTORS:
         best = None
         for _ in range(repeats):
@@ -106,6 +137,10 @@ def run_workload(label, algorithm, query, names, n, workers, repeats=3):
                 f"{label}: {executor} output diverged from serial"
             )
         row[f"{executor}_seconds"] = round(best, 4)
+        phases[executor] = phase_breakdown(
+            query, data, algorithm, executor, workers
+        )
+    row["phases"] = phases
     for executor in ("threads", "processes"):
         row[f"{executor}_speedup"] = round(
             row["serial_seconds"] / row[f"{executor}_seconds"], 3
@@ -142,6 +177,24 @@ def main() -> None:
         for row in rows
     ]
     print(render_table("executor wall-clock (best of 3)", headers, table))
+    phase_rows = [
+        [
+            row["workload"],
+            executor,
+            f"{breakdown['map']:.3f}",
+            f"{breakdown['shuffle']:.3f}",
+            f"{breakdown['reduce']:.3f}",
+        ]
+        for row in rows
+        for executor, breakdown in row["phases"].items()
+    ]
+    print(
+        render_table(
+            "per-phase wall-clock (one observed run per executor)",
+            ["workload", "executor", "map s", "shuffle s", "reduce s"],
+            phase_rows,
+        )
+    )
     # One small observed run (outside the timing loops, so it cannot
     # perturb them) attaches a metrics snapshot to the artifact.
     from repro.obs import TraceRecorder

@@ -27,12 +27,14 @@ Two kinds of fields, two kinds of checks:
   the comparison.  Run-group counters are executor- and
   fault-invariant by design, so any drift is a correctness bug.
   Baselines recorded before metrics snapshots existed still pass.
-* **Informational fields** (``executor``, ``workers``, ``note``)
-  describe the measuring run and are never gated — old baselines
-  without them pass, and new baselines carrying them do not fail runs
-  from a different host.  Replication-factor drift has its own
-  dedicated gate, ``check_replication.py``, and cost-model prediction
-  drift has ``check_model_error.py``.
+* **Informational fields** (``executor``, ``workers``, ``note``, the
+  ``git_commit``/``generated_at``/``python`` provenance stamps, and the
+  per-executor ``phases`` wall breakdowns) describe the measuring run
+  and are never gated — old baselines without them pass, and new
+  baselines carrying them do not fail runs from a different host.
+  Replication-factor drift has its own dedicated gate,
+  ``check_replication.py``, and cost-model prediction drift has
+  ``check_model_error.py``.
 
 Usage::
 
@@ -63,6 +65,7 @@ BENCH_FILES = (
     "BENCH_executors.json",
     "BENCH_shuffle_sort.json",
     "BENCH_explain.json",
+    "BENCH_profile.json",
 )
 
 #: Fields that must match the baseline bit-for-bit (simulator-determined).
@@ -76,14 +79,32 @@ WALL_SUFFIX = "_seconds"
 #: baselines recorded before these fields existed still pass, and
 #: baselines recorded with them do not fail fresh runs from a
 #: differently-provisioned host.
-INFORMATIONAL_FIELDS = frozenset({"executor", "workers", "note"})
+INFORMATIONAL_FIELDS = frozenset(
+    {
+        "executor",
+        "workers",
+        "note",
+        # Provenance stamps (emit_bench_json envelope; also harmless if a
+        # payload ever carries them): where/when the numbers came from,
+        # never what they should be.
+        "git_commit",
+        "generated_at",
+        "python",
+        # Nested per-executor phase wall-clock breakdowns — pure
+        # diagnostics, as host-dependent as any other wall number but
+        # without a stable scalar to gate.
+        "phases",
+    }
+)
 
 #: Metric groups allowlisted out of the ``metrics`` fingerprint: the
-#: ``wall`` group is host wall-clock (noise by definition) and the
-#: ``faults`` group depends on whether the run injected faults.  Every
-#: other group — in practice ``run`` — is deterministic and compared
-#: sample-for-sample.
-SKIPPED_METRIC_GROUPS = frozenset({"wall", "faults"})
+#: ``wall`` group is host wall-clock (noise by definition), the
+#: ``faults`` group depends on whether the run injected faults, and the
+#: ``profile`` group is the data-plane profiler's CPU/memory/pickle
+#: accounting (host-dependent and only present on profiled runs).
+#: Every other group — in practice ``run`` — is deterministic and
+#: compared sample-for-sample.
+SKIPPED_METRIC_GROUPS = frozenset({"wall", "faults", "profile"})
 
 
 class Comparison:

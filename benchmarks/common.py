@@ -40,6 +40,7 @@ __all__ = [
     "run_algorithm",
     "trace_artifact_dir",
     "emit_bench_json",
+    "git_commit",
     "human_count",
     "human_seconds",
     "render_table",
@@ -54,6 +55,32 @@ TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 _TRACE_SEQ = itertools.count(1)
+
+
+def git_commit() -> Optional[str]:
+    """The commit the numbers were measured at, or ``None``.
+
+    Prefers ``$GITHUB_SHA`` (set by CI even in shallow/detached
+    checkouts), then asks ``git rev-parse HEAD``; outside a repository
+    the stamp is simply absent rather than an error.
+    """
+    sha = os.environ.get("GITHUB_SHA", "").strip()
+    if sha:
+        return sha
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def trace_artifact_dir() -> Optional[str]:
@@ -186,6 +213,7 @@ def emit_bench_json(
         "benchmark": name,
         "generated_at": datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds"),
+        "git_commit": git_commit(),
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),

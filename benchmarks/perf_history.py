@@ -1,0 +1,255 @@
+"""Perf-trajectory history: BENCH_*.json snapshots over time.
+
+Two subcommands maintain a long-lived record of how the benchmark
+numbers move commit over commit:
+
+``append``
+    Reads every ``BENCH_*.json`` in ``--bench-dir`` and appends one
+    JSONL record per artifact to ``--history`` (default
+    ``BENCH_history.jsonl``): the benchmark name, the ``generated_at``
+    timestamp and ``git_commit`` stamp from the artifact envelope, and
+    a flat dict of the numeric wall-clock fields.  A record whose
+    (benchmark, commit) pair is already present with identical numbers
+    is skipped, so re-running CI on the same commit does not duplicate
+    points.
+
+``render``
+    Turns the history into one self-contained HTML page (inline SVG, no
+    JavaScript): per benchmark, one chart with a normalised line per
+    tracked field — each series scaled to its own maximum so a 0.002 s
+    sort and a 2 s run share an axis — the latest absolute value
+    direct-labelled, plus a table of the newest snapshot.
+
+Both run by default when invoked with no subcommand, which is what the
+CI step does::
+
+    python benchmarks/perf_history.py --bench-dir . \
+        --history BENCH_history.jsonl --out perf_trajectory.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import html as _html
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Numeric payload fields tracked besides the ``*_seconds`` wall fields.
+EXTRA_FIELDS = ("overhead_fraction",)
+
+_CSS = """
+body { margin: 0 auto; padding: 24px; max-width: 980px;
+       background: #fcfcfb; color: #0b0b0b;
+       font: 14px/1.5 system-ui, sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: #52514e; margin: 0 0 16px; }
+.card { border: 1px solid #e1e0d9; border-radius: 8px;
+        padding: 12px 14px; margin: 10px 0; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { text-align: right; padding: 3px 10px;
+         border-bottom: 1px solid #e1e0d9; }
+th:first-child, td:first-child { text-align: left;
+  font-family: ui-monospace, Menlo, monospace; font-size: 12px; }
+svg text { font: 11px system-ui, sans-serif; fill: #52514e; }
+"""
+
+#: Categorical series palette, cycled per field within a benchmark.
+_PALETTE = (
+    "#2a78d6", "#eb6834", "#1baf7a", "#8e5bd1", "#c7366f", "#8a7a12",
+)
+
+
+def wall_fields(results: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten one artifact's ``results`` into tracked numeric fields:
+    every ``*_seconds`` number (top level and per workload row) plus
+    :data:`EXTRA_FIELDS`."""
+    fields: Dict[str, float] = {}
+
+    def take(prefix: str, mapping: Dict[str, Any]) -> None:
+        for key, value in mapping.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if key.endswith("_seconds") or key in EXTRA_FIELDS:
+                fields[f"{prefix}{key}"] = float(value)
+
+    take("", results)
+    for row in results.get("workloads", []):
+        name = row.get("workload", "?")
+        take(f"{name}.", row)
+    return fields
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def append_snapshots(bench_dir: str, history_path: str) -> int:
+    """Append every BENCH_*.json in ``bench_dir``; returns how many new
+    records were written."""
+    entries = load_history(history_path)
+    seen = {
+        (entry.get("benchmark"), entry.get("git_commit")): entry.get("fields")
+        for entry in entries
+    }
+    added = 0
+    with open(history_path, "a", encoding="utf-8") as handle:
+        for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+            with open(path, "r", encoding="utf-8") as artifact:
+                document = json.load(artifact)
+            name = document.get("benchmark") or os.path.basename(path)
+            record = {
+                "benchmark": name,
+                "generated_at": document.get("generated_at"),
+                "git_commit": document.get("git_commit"),
+                "python": document.get("environment", {}).get("python"),
+                "fields": wall_fields(document.get("results", {})),
+            }
+            if seen.get((name, record["git_commit"])) == record["fields"]:
+                continue
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            seen[(name, record["git_commit"])] = record["fields"]
+            added += 1
+    print(f"{history_path}: {added} snapshot(s) appended")
+    return added
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _chart(series: Dict[str, List[Optional[float]]], points: int) -> str:
+    """One normalised multi-line SVG chart; each series scaled to its
+    own max so heterogeneous magnitudes share the plot."""
+    width, height, pad = 760, 150, 10
+    parts = [
+        f'<svg role="img" width="{width}" height="{height + 20}" '
+        'aria-label="perf trajectory">'
+    ]
+    step = (width - 2 * pad) / max(points - 1, 1)
+    for index, (field, values) in enumerate(sorted(series.items())):
+        peak = max((v for v in values if v is not None), default=0.0)
+        if peak <= 0:
+            continue
+        colour = _PALETTE[index % len(_PALETTE)]
+        coords = [
+            (pad + i * step, pad + (height - 2 * pad) * (1 - v / peak))
+            for i, v in enumerate(values)
+            if v is not None
+        ]
+        if len(coords) == 1:
+            x, y = coords[0]
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                f'fill="{colour}"/>'
+            )
+        else:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+            parts.append(
+                f'<polyline points="{path}" fill="none" '
+                f'stroke="{colour}" stroke-width="1.5"/>'
+            )
+        last = next(v for v in reversed(values) if v is not None)
+        parts.append(
+            f'<text x="{coords[-1][0] + 4:.1f}" y="{coords[-1][1]:.1f}" '
+            f'fill="{colour}">{_esc(f"{last:.4g}")}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_page(history_path: str, out_path: str) -> None:
+    entries = load_history(history_path)
+    by_benchmark: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in entries:
+        by_benchmark.setdefault(str(entry.get("benchmark")), []).append(entry)
+
+    sections = []
+    for name in sorted(by_benchmark):
+        snapshots = by_benchmark[name]
+        fields = sorted({f for s in snapshots for f in s.get("fields", {})})
+        series = {
+            field: [s.get("fields", {}).get(field) for s in snapshots]
+            for field in fields
+        }
+        legend = " &#183; ".join(
+            f'<span style="color:{_PALETTE[i % len(_PALETTE)]}">'
+            f"{_esc(field)}</span>"
+            for i, field in enumerate(fields)
+        )
+        latest = snapshots[-1]
+        latest_fields = latest.get("fields", {})
+        commit = str(latest.get("git_commit") or "?")[:12]
+        table_rows = "".join(
+            f"<tr><td>{_esc(field)}</td>"
+            f"<td>{_esc(f'{latest_fields.get(field, 0):.4g}')}</td></tr>"
+            for field in fields
+        )
+        sections.append(
+            f"<h2>{_esc(name)}</h2>"
+            f'<div class="card">'
+            f'<p class="sub">{len(snapshots)} snapshot(s), latest '
+            f"{_esc(latest.get('generated_at') or '?')} @ {_esc(commit)}"
+            f"</p><p class=\"sub\">{legend}</p>"
+            + _chart(series, len(snapshots))
+            + f"<table><thead><tr><th>field</th><th>latest</th></tr>"
+            f"</thead><tbody>{table_rows}</tbody></table>"
+            "</div>"
+        )
+
+    page = (
+        "<!DOCTYPE html>"
+        '<html lang="en"><head><meta charset="utf-8"/>'
+        "<title>repro perf trajectory</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>repro perf trajectory</h1>"
+        f'<p class="sub">{len(entries)} snapshot(s) from '
+        f"{_esc(history_path)}; each series normalised to its own "
+        "maximum, latest absolute value labelled</p>"
+        + "".join(sections)
+        + "</body></html>"
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(page)
+    print(f"wrote {out_path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append BENCH_*.json snapshots to a JSONL history "
+        "and render the perf-trajectory page."
+    )
+    parser.add_argument(
+        "action", nargs="?", default="both",
+        choices=["append", "render", "both"],
+    )
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory holding fresh BENCH_*.json files")
+    parser.add_argument("--history", default="BENCH_history.jsonl")
+    parser.add_argument("--out", default="perf_trajectory.html")
+    args = parser.parse_args(argv)
+
+    if args.action in ("append", "both"):
+        append_snapshots(args.bench_dir, args.history)
+    if args.action in ("render", "both"):
+        if not os.path.exists(args.history):
+            print(f"error: no history at {args.history}", file=sys.stderr)
+            return 1
+        render_page(args.history, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,10 +24,18 @@ Commands
     reducer-grid shape, partitioner and per-predicate kernels, plus the
     cost model's analytic predictions (``--exact`` dry-runs the real
     mappers instead when relations are bound).
+``profile``
+    Execute a query under the data-plane profiler and print the
+    CPU/memory/GC/serialization rundown; ``--flame`` writes a
+    self-contained SVG flame graph, ``--collapsed`` the
+    flamegraph.pl-format stack text, ``--html`` the dashboard with the
+    Data plane panel.  ``repro run --profile`` profiles a normal run.
 ``report``
     Rebuild the HTML dashboard and the predicted-vs-observed plan
     reconciliation from a saved JSONL span trace (plus an optional
-    ``--metrics`` JSON snapshot) after the run is gone.
+    ``--metrics`` JSON snapshot) after the run is gone.  Degrades
+    gracefully on traces from older versions: unknown lines are
+    warnings, missing plan/metrics spans just skip their sections.
 ``histogram``
     The exact Allen-relationship histogram between two relations.
 
@@ -178,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
                      "(*.prom writes Prometheus text exposition instead)")
     run.add_argument("--html", default=None, metavar="PATH",
                      help="write a self-contained HTML run dashboard")
+    run.add_argument("--profile", action="store_true", default=None,
+                     help="run under the data-plane profiler: sampled "
+                     "CPU stacks, per-phase memory/GC watermarks, pickle/"
+                     "repr-sort/staged-bytes accounting "
+                     "(default: $REPRO_PROFILE, then off)")
+    run.add_argument("--profile-full", action="store_true", default=None,
+                     help="like --profile plus tracemalloc traced-byte "
+                     "watermarks (exact but well over the 10%% overhead "
+                     "budget)")
+    run.add_argument("--flame", default=None, metavar="PATH",
+                     help="write the profiled run's flame graph as a "
+                     "self-contained SVG (implies --profile)")
+    run.add_argument("--collapsed", default=None, metavar="PATH",
+                     help="write the profiled run's collapsed-stack text "
+                     "(flamegraph.pl format; implies --profile)")
 
     explain = sub.add_parser(
         "explain",
@@ -213,6 +236,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the plan as JSON instead of the printable rendering",
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="execute a query under the data-plane profiler and report "
+        "CPU/memory/GC/serialization costs",
+    )
+    profile.add_argument(
+        "--relation", action="append", required=True, metavar="NAME=FILE",
+        help="bind a relation name to a file (repeatable)",
+    )
+    profile.add_argument(
+        "--condition", action="append", required=True,
+        metavar="'LEFT PRED RIGHT'",
+        help="a join condition, e.g. 'R1 overlaps R2' (repeatable)",
+    )
+    profile.add_argument(
+        "--algorithm", default=None, choices=sorted(ALGORITHMS),
+        help="override the planner's choice",
+    )
+    profile.add_argument("--partitions", type=int, default=16)
+    profile.add_argument(
+        "--executor", default=None,
+        choices=["serial", "threads", "processes"],
+        help="MapReduce executor (default: $REPRO_EXECUTOR, then serial)",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the parallel executors",
+    )
+    profile.add_argument(
+        "--full", action="store_true",
+        help="add tracemalloc traced-byte watermarks (exact but well "
+        "over the 10%% overhead budget)",
+    )
+    profile.add_argument("--flame", default=None, metavar="PATH",
+                         help="write the flame graph as self-contained SVG")
+    profile.add_argument("--collapsed", default=None, metavar="PATH",
+                         help="write collapsed-stack text "
+                         "(flamegraph.pl format)")
+    profile.add_argument("--html", default=None, metavar="PATH",
+                         help="write the run dashboard (with the Data "
+                         "plane panel and embedded flame graph)")
+    profile.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the metric families as JSON "
+                         "(*.prom for Prometheus text)")
+
     report = sub.add_parser(
         "report",
         help="rebuild reports from a recorded JSONL span trace",
@@ -226,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the self-contained HTML dashboard here")
     report.add_argument("--title", default=None,
                         help="dashboard title (default: the trace path)")
+    report.add_argument("--profile", action="store_true",
+                        help="print the data-plane profile summary from "
+                        "the metrics snapshot (needs --metrics from a "
+                        "profiled run)")
 
     hist = sub.add_parser(
         "histogram", help="Allen-relationship histogram of two relations"
@@ -339,6 +411,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     executor = resolve_executor(args.executor)
     workers = resolve_workers(args.workers)
+    from repro.obs import resolve_profile
+
+    if args.profile_full:
+        profile_level = resolve_profile("full")
+    elif args.profile or args.flame or args.collapsed:
+        profile_level = resolve_profile(True)
+    else:
+        profile_level = resolve_profile(None)  # $REPRO_PROFILE decides
     observer = None
     if (
         args.explain
@@ -348,11 +428,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.metrics
         or args.metrics_out
         or args.html
+        or profile_level
     ):
         from repro.obs import TraceRecorder, open_sink
 
         sinks = [open_sink(args.trace, args.trace_format)] if args.trace else []
-        observer = TraceRecorder(*sinks)
+        observer = TraceRecorder(
+            *sinks, profile=profile_level if profile_level else False
+        )
     result = execute(
         query,
         data,
@@ -420,6 +503,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(RunReport.from_recorder(observer).render())
     if args.metrics:
         print(observer.metrics.summary())
+    if observer is not None and observer.profiler is not None:
+        print()
+        print(observer.profiler.summary())
+        _write_profile_artifacts(observer.profiler, args, str(query))
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             if args.metrics_out.endswith(".prom"):
@@ -438,30 +525,132 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile_artifacts(profiler, args: argparse.Namespace, query: str) -> None:
+    """Write --flame / --collapsed artifacts of a profiled run."""
+    flame = getattr(args, "flame", None)
+    collapsed = getattr(args, "collapsed", None)
+    if flame:
+        with open(flame, "w", encoding="utf-8") as handle:
+            handle.write(profiler.flame_svg(title=f"repro: {query}"))
+        print(f"flame:      {flame}")
+    if collapsed:
+        with open(collapsed, "w", encoding="utf-8") as handle:
+            handle.write(profiler.collapsed_stacks())
+            handle.write("\n")
+        print(f"collapsed:  {collapsed}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.mapreduce.runner import resolve_executor, resolve_workers
+    from repro.obs import TraceRecorder, dashboard_from_recorder
+
+    data = _load_bindings(args.relation)
+    query = IntervalJoinQuery.parse(
+        [_parse_condition(c) for c in args.condition]
+    )
+    executor = resolve_executor(args.executor)
+    workers = resolve_workers(args.workers)
+    observer = TraceRecorder(profile="full" if args.full else True)
+    result = execute(
+        query,
+        data,
+        algorithm=args.algorithm,
+        num_partitions=args.partitions,
+        executor=executor,
+        workers=workers,
+        observer=observer,
+    )
+    observer.close()
+    m = result.metrics
+    print(f"query:      {query}")
+    print(f"algorithm:  {m.algorithm}")
+    print(f"executor:   {executor} ({workers} workers)")
+    print(f"tuples:     {len(result)}")
+    print()
+    print(observer.profiler.summary())
+    _write_profile_artifacts(observer.profiler, args, str(query))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            if args.metrics_out.endswith(".prom"):
+                handle.write(observer.metrics.to_prometheus())
+            else:
+                handle.write(observer.metrics.to_json())
+                handle.write("\n")
+        print(f"metrics:    {args.metrics_out}")
+    if args.html:
+        page = dashboard_from_recorder(
+            observer, title=f"repro profile: {query}"
+        )
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        print(f"dashboard:  {args.html}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import (
-        load_spans_jsonl,
+        load_spans_jsonl_tolerant,
         reconciliation_from_spans,
         render_dashboard,
     )
 
-    spans = load_spans_jsonl(args.trace)
+    spans, warnings = load_spans_jsonl_tolerant(args.trace)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     metrics = None
     if args.metrics:
-        with open(args.metrics, "r", encoding="utf-8") as handle:
-            metrics = json.load(handle)
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                metrics = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"warning: metrics snapshot {args.metrics!r} unusable "
+                f"({exc}); rendering without it",
+                file=sys.stderr,
+            )
     title = args.title or f"repro trace: {args.trace}"
     jobs = [span for span in spans if span.kind == "job"]
     print(f"trace:      {args.trace}")
     print(f"spans:      {len(spans)} ({len(jobs)} jobs)")
-    for reconciliation in reconciliation_from_spans(spans):
+    # Older traces (or partial ones) may predate plan/reconciliation or
+    # metrics spans — report what exists instead of failing.
+    try:
+        reconciliations = reconciliation_from_spans(spans)
+    except Exception as exc:
+        print(
+            f"warning: plan reconciliation failed ({exc}); skipping",
+            file=sys.stderr,
+        )
+        reconciliations = []
+    if reconciliations:
+        for reconciliation in reconciliations:
+            print()
+            print(reconciliation.render())
+    else:
+        print("plan:       no plan spans in trace; reconciliation skipped")
+    if getattr(args, "profile", False):
+        from repro.obs import MetricsRegistry, data_plane_summary
+
         print()
-        print(reconciliation.render())
+        if metrics is None:
+            print(
+                "data-plane profile: no metrics snapshot (pass --metrics "
+                "with the JSON written by a profiled run's --metrics-out)"
+            )
+        else:
+            print(data_plane_summary(MetricsRegistry.from_dict(metrics)))
     if args.html:
-        page = render_dashboard(spans, metrics, title=title)
-        with open(args.html, "w", encoding="utf-8") as handle:
-            handle.write(page)
-        print(f"dashboard:  {args.html}")
+        try:
+            page = render_dashboard(spans, metrics, title=title)
+        except Exception as exc:
+            print(
+                f"warning: dashboard rendering failed ({exc}); skipping",
+                file=sys.stderr,
+            )
+        else:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(page)
+            print(f"dashboard:  {args.html}")
     return 0
 
 
@@ -488,6 +677,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "run": _cmd_run,
     "explain": _cmd_explain,
+    "profile": _cmd_profile,
     "report": _cmd_report,
     "histogram": _cmd_histogram,
 }

@@ -45,6 +45,11 @@ class FileSystem(abc.ABC):
     #: the commit protocol reports staged/promoted/discarded attempts.
     metrics: Optional[Any] = None
 
+    #: Optional :class:`~repro.obs.profile.Profiler`; when a run is
+    #: profiled, ``run_job`` points this at the observer's profiler so
+    #: staged attempt files report their repr-byte volume.
+    profiler: Optional[Any] = None
+
     def _count_commit(self, event: str) -> None:
         if self.metrics is None:
             return
@@ -99,12 +104,34 @@ class FileSystem(abc.ABC):
         """Where task ``index``'s attempt ``attempt`` stages its output."""
         return f"{base}/_temporary/task-{index:05d}/attempt-{attempt}"
 
+    #: Records repr'd per staged file to estimate its byte volume; the
+    #: estimate is exact for files at or under the sample size.
+    STAGED_BYTES_SAMPLE = 64
+
     def write_attempt(
         self, base: str, index: int, attempt: int, records: Iterable[Any]
     ) -> str:
         """Stage one attempt's output under ``_temporary``; returns the
-        staged path.  Invisible to :meth:`read_dir` until promoted."""
+        staged path.  Invisible to :meth:`read_dir` until promoted.
+
+        With a profiler attached, the staged records' repr-byte volume
+        (the same communication-cost proxy the shuffle uses) is charged
+        to ``repro_profile_fs_staged_bytes_total`` — estimated from the
+        first :attr:`STAGED_BYTES_SAMPLE` records and extrapolated, so
+        the accounting stays O(1)-ish per file instead of repr'ing every
+        record (which dominated profiled runs at scale).
+        """
         path = self.task_attempt_path(base, index, attempt)
+        if self.profiler is not None:
+            records = list(records)
+            sample = records[: self.STAGED_BYTES_SAMPLE]
+            if sample:
+                sampled = sum(
+                    len(repr(record).encode("utf-8")) for record in sample
+                )
+                self.profiler.record_staged_bytes(
+                    int(sampled / len(sample) * len(records))
+                )
         self.write(path, records, overwrite=True)
         self._count_commit("staged")
         return path

@@ -62,6 +62,7 @@ from __future__ import annotations
 import copy
 import math
 import os
+import pickle
 import threading
 import time
 from collections import defaultdict
@@ -94,11 +95,18 @@ from repro.mapreduce.job import InputSpec, JobConf, JobResult
 from repro.mapreduce.shuffle import partition_stats, shuffle
 from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
 from repro.obs.metrics import GROUP_FAULTS, LOAD_BUCKETS
+from repro.obs.profile import run_profiled_task as _process_profiled_task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.cost import CostModel
+    from repro.obs.profile import Profiler
     from repro.obs.recorder import TraceRecorder
     from repro.obs.span import Span
+
+
+def _profiler_of(observer: Optional["TraceRecorder"]) -> Optional["Profiler"]:
+    """The attached data-plane profiler, if any."""
+    return getattr(observer, "profiler", None) if observer is not None else None
 
 __all__ = [
     "run_job",
@@ -198,6 +206,7 @@ def _pool_map(
     job: str,
     phase: str,
     indices: Sequence[int],
+    profiler: Optional["Profiler"] = None,
 ) -> List[Any]:
     """Dispatch payloads to the worker pool in chunks, preserving order.
 
@@ -205,14 +214,53 @@ def _pool_map(
     the phase and the submitted task indices — with chunked ``pool.map``
     dispatch no result is retrievable once the pool dies, so the whole
     batch is reported as pending.
+
+    With a profiler attached, each ``(fn, payload)`` is pre-pickled on
+    the parent and shipped through
+    :func:`repro.obs.profile.run_profiled_task` — the timed
+    ``dumps``/``loads`` on both sides *are* the real serialization work
+    (the pool's own transport then only re-pickles opaque bytes), so the
+    recorded encode/decode seconds and byte counts measure exactly what
+    the unprofiled path pays.
     """
     pool = _process_pool(workers)
     chunksize = max(1, math.ceil(len(payloads) / (workers * 4)))
+    if profiler is None:
+        try:
+            return list(pool.map(fn, payloads, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            _discard_broken_pool(pool, workers)
+            raise WorkerPoolError(job, phase, indices, str(exc)) from exc
+    started = time.perf_counter()
+    blobs = [
+        pickle.dumps((fn, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        for payload in payloads
+    ]
+    profiler.record_pickle(
+        job, phase, "parent", "encode", time.perf_counter() - started
+    )
+    profiler.record_pickle_bytes(
+        job, phase, "request", sum(len(blob) for blob in blobs)
+    )
     try:
-        return list(pool.map(fn, payloads, chunksize=chunksize))
+        shipped = list(
+            pool.map(_process_profiled_task, blobs, chunksize=chunksize)
+        )
     except BrokenProcessPool as exc:
         _discard_broken_pool(pool, workers)
         raise WorkerPoolError(job, phase, indices, str(exc)) from exc
+    results = []
+    decode_seconds = 0.0
+    response_bytes = 0
+    for result_blob, wprof in shipped:
+        started = time.perf_counter()
+        results.append(pickle.loads(result_blob))
+        decode_seconds += time.perf_counter() - started
+        response_bytes += len(result_blob)
+        profiler.absorb_worker(job, phase, wprof)
+    profiler.record_pickle(job, phase, "parent", "decode", decode_seconds)
+    profiler.record_pickle_bytes(job, phase, "response", response_bytes)
+    return results
 
 
 def _submit_attempt(
@@ -222,20 +270,45 @@ def _submit_attempt(
     job: str,
     phase: str,
     task_index: int,
+    profiler: Optional["Profiler"] = None,
 ) -> Tuple[Any, Counters, float]:
     """Run one task attempt on the worker pool.
 
     Fault-tolerant execution submits attempts individually (never
     chunked): a retry must re-run exactly the failed task, and a
     per-attempt future lets injected worker-side failures map back to
-    the one attempt that raised them.
+    the one attempt that raised them.  Profiled dispatch pre-pickles the
+    payload exactly like :func:`_pool_map`; injected faults still raise
+    through the attempt's future unchanged.
     """
     pool = _process_pool(workers)
+    if profiler is None:
+        try:
+            result, counter_dict, elapsed = pool.submit(fn, payload).result()
+        except BrokenProcessPool as exc:
+            _discard_broken_pool(pool, workers)
+            raise WorkerPoolError(job, phase, (task_index,), str(exc)) from exc
+        return result, Counters.from_dict(counter_dict), elapsed
+    started = time.perf_counter()
+    blob = pickle.dumps((fn, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    profiler.record_pickle(
+        job, phase, "parent", "encode", time.perf_counter() - started
+    )
+    profiler.record_pickle_bytes(job, phase, "request", len(blob))
     try:
-        result, counter_dict, elapsed = pool.submit(fn, payload).result()
+        result_blob, wprof = pool.submit(
+            _process_profiled_task, blob
+        ).result()
     except BrokenProcessPool as exc:
         _discard_broken_pool(pool, workers)
         raise WorkerPoolError(job, phase, (task_index,), str(exc)) from exc
+    started = time.perf_counter()
+    result, counter_dict, elapsed = pickle.loads(result_blob)
+    profiler.record_pickle(
+        job, phase, "parent", "decode", time.perf_counter() - started
+    )
+    profiler.record_pickle_bytes(job, phase, "response", len(result_blob))
+    profiler.absorb_worker(job, phase, wprof)
     return result, Counters.from_dict(counter_dict), elapsed
 
 
@@ -624,6 +697,7 @@ def _run_map_tasks_processes(
     shipped = _pool_map(
         _process_map_task, payloads, workers,
         conf.name, "map", [index for index, _, _ in tasks],
+        profiler=_profiler_of(observer),
     )
     results = []
     for (index, spec, _), (task_pairs, counter_dict, elapsed) in zip(
@@ -663,6 +737,7 @@ def _run_reduce_tasks_processes(
     shipped = _pool_map(
         _process_reduce_task, payloads, workers,
         conf.name, "reduce", range(len(payloads)),
+        profiler=_profiler_of(observer),
     )
     results = []
     for index, (output, counter_dict, elapsed) in enumerate(shipped):
@@ -979,6 +1054,7 @@ def _run_map_phase_faulted(
                 return _submit_attempt(
                     _process_map_attempt, payload, workers,
                     conf.name, "map", index,
+                    profiler=_profiler_of(observer),
                 )
             started = time.perf_counter()
             # Hadoop semantics: every attempt deserialises a pristine
@@ -1074,6 +1150,7 @@ def _run_reduce_phase_faulted(
             return _submit_attempt(
                 _process_reduce_attempt, payload, workers,
                 conf.name, "reduce", index,
+                profiler=_profiler_of(observer),
             )
         started = time.perf_counter()
         # A pristine reducer per attempt (matching what pickling gives
@@ -1207,8 +1284,10 @@ def run_job(
     counters = Counters()
     # The commit protocol reports through the observer's registry for
     # the duration of this job; cleared when running unobserved so a
-    # later unobserved run never writes into a stale registry.
+    # later unobserved run never writes into a stale registry.  The
+    # profiler rides along the same way (staged-bytes accounting).
     fs.metrics = observer.metrics if observer is not None else None
+    fs.profiler = _profiler_of(observer)
 
     job_attrs: Dict[str, Any] = {}
     if fctx.active:
@@ -1245,7 +1324,10 @@ def run_job(
             with observer.span(
                 "shuffle", kind="phase", job=conf.name
             ) as shuffle_span:
-                tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
+                tasks = shuffle(
+                    pairs, conf.num_reduce_tasks, conf.partitioner,
+                    profiler=_profiler_of(observer), job=conf.name,
+                )
                 shuffle_span.annotate(
                     records=len(pairs), reduce_tasks=conf.num_reduce_tasks
                 )

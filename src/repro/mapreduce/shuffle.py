@@ -26,10 +26,24 @@ per consumer dominate the shuffle (see ``benchmarks/bench_shuffle_sort``).
 from __future__ import annotations
 
 import abc
+import time
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import Profiler
 
 __all__ = [
     "Partitioner",
@@ -116,6 +130,8 @@ def shuffle(
     pairs: Iterable[Tuple[Hashable, Any]],
     num_tasks: int,
     partitioner: Partitioner,
+    profiler: Optional["Profiler"] = None,
+    job: str = "",
 ) -> List[List[Tuple[Hashable, List[Any]]]]:
     """Group pairs by key and assign key groups to reduce tasks.
 
@@ -123,20 +139,36 @@ def shuffle(
     groups sorted by key representation within each task (Hadoop's sorted
     reduce input order).  The repr-sort runs once and is shared with the
     partitioner via :meth:`Partitioner.prepare_sorted`.
+
+    With a :class:`~repro.obs.profile.Profiler` attached, the repr-sort
+    wall seconds, the distinct key count and the per-partition key-repr
+    bytes are recorded under the ``profile`` metric group.  The byte
+    accounting reuses the reprs the sort already computed — profiling
+    never adds ``repr`` calls to the data path.
     """
     grouped: Dict[Hashable, List[Any]] = defaultdict(list)
     for key, value in pairs:
         grouped[key].append(value)
+    started = time.perf_counter() if profiler is not None else 0.0
     ordered = _sorted_by_repr(grouped.keys())
     partitioner.prepare_sorted(ordered)
+    if profiler is not None:
+        profiler.record_shuffle_sort(
+            job, time.perf_counter() - started, len(ordered)
+        )
     tasks: List[List[Tuple[Hashable, List[Any]]]] = [[] for _ in range(num_tasks)]
-    for _, key in ordered:
+    key_bytes = [0] * num_tasks if profiler is not None else None
+    for key_repr, key in ordered:
         index = partitioner.partition(key, num_tasks)
         if not 0 <= index < num_tasks:
             raise ValueError(
                 f"partitioner routed key {key!r} to invalid task {index}"
             )
         tasks[index].append((key, grouped[key]))
+        if key_bytes is not None:
+            key_bytes[index] += len(key_repr.encode("utf-8"))
+    if profiler is not None and key_bytes is not None:
+        profiler.record_partition_key_bytes(job, key_bytes)
     return tasks
 
 

@@ -25,6 +25,11 @@ wall-clock duration, counter deltas, and cost-model charges.
 * dashboard — :func:`render_dashboard` emits one self-contained HTML
   page (``repro report --html``) with phase timelines, reducer-load
   charts and the replication/skew tables
+* profile — :class:`Profiler` (``repro run --profile`` /
+  ``$REPRO_PROFILE``): sampling CPU profiler with collapsed stacks and
+  an SVG flame graph, per-phase memory/GC watermarks, and pickle /
+  repr-sort / staged-bytes serialization accounting in the ``profile``
+  metric group
 
 Observation is strictly passive: with no observer attached nothing is
 recorded and results, counters and benchmark numbers are unchanged.
@@ -45,6 +50,13 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    Profiler,
+    StackSampler,
+    data_plane_summary,
+    render_flame_svg,
+    resolve_profile,
+)
 from repro.obs.recorder import TraceRecorder
 from repro.obs.report import FaultSummary, JobLoadSummary, RunReport, TaskFlag
 from repro.obs.sinks import (
@@ -53,6 +65,7 @@ from repro.obs.sinks import (
     JsonlSink,
     TraceSink,
     load_spans_jsonl,
+    load_spans_jsonl_tolerant,
     open_sink,
 )
 from repro.obs.span import Span
@@ -66,6 +79,7 @@ __all__ = [
     "ChromeTraceSink",
     "open_sink",
     "load_spans_jsonl",
+    "load_spans_jsonl_tolerant",
     "RunReport",
     "FaultSummary",
     "JobLoadSummary",
@@ -82,4 +96,9 @@ __all__ = [
     "ReconciliationRow",
     "explain_query",
     "reconciliation_from_spans",
+    "Profiler",
+    "StackSampler",
+    "resolve_profile",
+    "render_flame_svg",
+    "data_plane_summary",
 ]

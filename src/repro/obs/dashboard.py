@@ -20,6 +20,10 @@ Sections, in reading order:
   per algorithm and quantity (replication, shuffle, max load, ...),
   worst offender first, from the trace's plan/reconciliation spans or
   the ``repro_plan_*`` gauges of a metrics snapshot;
+* **data plane panel** — the profiler's per-job, per-phase CPU /
+  memory / GC / pickle accounting (``repro_profile_*`` families of a
+  profiled run's metrics snapshot), plus an optional embedded CPU flame
+  graph;
 * **algorithm tables** — replication factor and consistent-vs-total
   grid-reducer utilisation per algorithm, read from the metrics
   snapshot when one is supplied.
@@ -500,6 +504,107 @@ def _plan_panel(
     )
 
 
+def _data_plane_panel(metrics: Optional[Mapping[str, Any]]) -> str:
+    """The profiler's per-job, per-phase CPU / memory / GC /
+    serialization table, from the ``repro_profile_*`` families of a
+    metrics snapshot.  Empty string when the run was not profiled."""
+    from repro.obs.profile import _fmt_bytes
+
+    cpu: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for labels, value in _metric_samples(
+        metrics, "repro_profile_cpu_seconds_total"
+    ):
+        cpu.setdefault((labels["job"], labels["phase"]), {})[
+            labels["where"]
+        ] = value
+    if not cpu:
+        return ""
+
+    def by_phase(name: str) -> Dict[Tuple[str, str], float]:
+        return {
+            (labels["job"], labels["phase"]): value
+            for labels, value in _metric_samples(metrics, name)
+        }
+
+    gc_pauses = by_phase("repro_profile_gc_pauses_total")
+    gc_seconds = by_phase("repro_profile_gc_pause_seconds_total")
+    rss = by_phase("repro_profile_mem_rss_peak_bytes")
+    traced_peak = by_phase("repro_profile_mem_peak_bytes")
+    pickle_bytes: Dict[Tuple[str, str], float] = {}
+    for labels, value in _metric_samples(
+        metrics, "repro_profile_pickle_bytes_total"
+    ):
+        key = (labels["job"], labels["phase"])
+        pickle_bytes[key] = pickle_bytes.get(key, 0.0) + value
+    pickle_seconds: Dict[Tuple[str, str], float] = {}
+    for labels, value in _metric_samples(
+        metrics, "repro_profile_pickle_seconds_total"
+    ):
+        key = (labels["job"], labels["phase"])
+        pickle_seconds[key] = pickle_seconds.get(key, 0.0) + value
+
+    phase_order = {"map": 0, "shuffle": 1, "reduce": 2}
+    rows = []
+    for job, phase in sorted(
+        cpu, key=lambda k: (k[0], phase_order.get(k[1], 9), k[1])
+    ):
+        if job == "driver":
+            continue
+        key = (job, phase)
+        rows.append(
+            (
+                job,
+                phase,
+                f"{cpu[key].get('task', 0.0):.3f}",
+                f"{cpu[key].get('driver', 0.0):.3f}",
+                int(gc_pauses.get(key, 0)),
+                f"{gc_seconds.get(key, 0.0):.3f}",
+                _fmt_bytes(traced_peak.get(key, rss.get(key, 0))),
+                _fmt_bytes(pickle_bytes.get(key, 0)),
+                f"{pickle_seconds.get(key, 0.0):.3f}",
+            )
+        )
+    extras = []
+    for labels, value in _metric_samples(
+        metrics, "repro_profile_shuffle_sort_seconds_total"
+    ):
+        extras.append(
+            f"shuffle repr-sort ({_esc(labels['job'])}): {value:.3f}s"
+        )
+    for _labels, value in _metric_samples(
+        metrics, "repro_profile_fs_staged_bytes_total"
+    ):
+        if value:
+            extras.append(f"fs staged bytes: {_esc(_fmt_bytes(value))}")
+    extra_html = (
+        f'<p class="legend">{" &#183; ".join(extras)}</p>' if extras else ""
+    )
+    return (
+        "<h2>Data plane &#183; CPU / memory / serialization</h2>"
+        '<div class="card">'
+        + _table(
+            (
+                "job", "phase", "task cpu s", "driver cpu s", "gc",
+                "gc pause s", "mem peak", "pickle bytes", "pickle s",
+            ),
+            rows,
+        )
+        + extra_html
+        + "</div>"
+    )
+
+
+def _flame_panel(flame_svg: Optional[str]) -> str:
+    if not flame_svg:
+        return ""
+    return (
+        "<h2>CPU flame graph</h2>"
+        '<div class="card" style="overflow-x:auto">'
+        + flame_svg
+        + "</div>"
+    )
+
+
 def _metrics_overview(metrics: Optional[Mapping[str, Any]]) -> str:
     if not metrics:
         return ""
@@ -528,13 +633,17 @@ def render_dashboard(
     metrics: Optional[Any] = None,
     *,
     title: str = "repro run",
+    flame_svg: Optional[str] = None,
 ) -> str:
     """Render one self-contained HTML dashboard string.
 
     ``spans`` is any span sequence (live recorder or reloaded JSONL
     trace); ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`
     or an :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` snapshot,
-    or ``None`` to skip the metric-backed tables.
+    or ``None`` to skip the metric-backed tables.  ``flame_svg`` embeds
+    a profiled run's flame graph (``Profiler.flame_svg()``) as its own
+    panel; the Data plane table appears whenever the snapshot carries
+    ``repro_profile_*`` families.
     """
     if metrics is not None and hasattr(metrics, "as_dict"):
         metrics = metrics.as_dict()
@@ -575,6 +684,8 @@ def render_dashboard(
         "<h2>Skew &amp; replication per job</h2>",
         f'<div class="card">{_skew_table(jobs)}</div>',
         _plan_panel(spans, metrics),
+        _data_plane_panel(metrics),
+        _flame_panel(flame_svg),
         _algorithm_tables(metrics),
         _metrics_overview(metrics),
         "</body></html>",
@@ -586,7 +697,10 @@ def dashboard_from_recorder(
     recorder: Any, *, title: str = "repro run"
 ) -> str:
     """Dashboard for a live :class:`~repro.obs.recorder.TraceRecorder`
-    (its spans plus its metrics registry)."""
+    (its spans plus its metrics registry; a profiled recorder also gets
+    the flame-graph panel)."""
+    profiler = getattr(recorder, "profiler", None)
+    flame = profiler.flame_svg(title=title) if profiler is not None else None
     return render_dashboard(
-        recorder.spans, recorder.metrics, title=title
+        recorder.spans, recorder.metrics, title=title, flame_svg=flame
     )

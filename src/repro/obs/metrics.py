@@ -25,10 +25,14 @@ Every metric belongs to a **group**:
 * ``"faults"`` — chaos bookkeeping (retries, discarded attempts);
   identical across executors for a pinned fault plan but empty on a
   fault-free run.
+* ``"profile"`` — data-plane profiling facts (CPU seconds, pickle
+  bytes, GC pauses; see :mod:`repro.obs.profile`).  Machine- and
+  executor-dependent by nature, so excluded from parity like ``wall``.
 
 :meth:`MetricsRegistry.fingerprint` exposes exactly that contract: the
 parity tests compare fingerprints with ``exclude_groups=("wall",
-"faults")`` and demand equality.
+"profile")`` (the default) and add ``"faults"`` to compare a chaos run
+against a fault-free one.
 
 Worker *processes* never see the registry — they ship counter snapshots
 back (see ``runner._run_map_tasks_processes``) and the parent records
@@ -54,6 +58,7 @@ __all__ = [
     "GROUP_RUN",
     "GROUP_WALL",
     "GROUP_FAULTS",
+    "GROUP_PROFILE",
     "LOAD_BUCKETS",
     "SECONDS_BUCKETS",
 ]
@@ -64,6 +69,8 @@ GROUP_RUN = "run"
 GROUP_WALL = "wall"
 #: Fault-injection bookkeeping (empty on fault-free runs).
 GROUP_FAULTS = "faults"
+#: Data-plane profiling facts (machine-dependent, excluded from parity).
+GROUP_PROFILE = "profile"
 
 #: Fixed boundaries for tuple-load histograms (per-reducer and per-key).
 LOAD_BUCKETS: Tuple[float, ...] = (
@@ -77,7 +84,7 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
-_VALID_GROUPS = (GROUP_RUN, GROUP_WALL, GROUP_FAULTS)
+_VALID_GROUPS = (GROUP_RUN, GROUP_WALL, GROUP_FAULTS, GROUP_PROFILE)
 
 
 class MetricError(ReproError, ValueError):
@@ -496,14 +503,15 @@ class MetricsRegistry:
 
     # -- comparison -----------------------------------------------------
     def fingerprint(
-        self, exclude_groups: Tuple[str, ...] = (GROUP_WALL,)
+        self, exclude_groups: Tuple[str, ...] = (GROUP_WALL, GROUP_PROFILE)
     ) -> Dict[str, Tuple[Any, ...]]:
         """A hashable, comparable digest of the sample values.
 
         The parity tests assert ``a.fingerprint(...) ==
-        b.fingerprint(...)``; pass ``exclude_groups=("wall",)`` to
-        compare deterministic content across executors and add
-        ``"faults"`` to compare a chaos run against a fault-free one.
+        b.fingerprint(...)``; the default excludes the machine-dependent
+        ``wall`` and ``profile`` groups so deterministic content compares
+        across executors, and chaos tests add ``"faults"`` to compare a
+        chaos run against a fault-free one.
         """
         digest: Dict[str, Tuple[Any, ...]] = {}
         for metric in self.families():

@@ -20,6 +20,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
 from repro.obs.metrics import SECONDS_BUCKETS, GROUP_WALL, MetricsRegistry
+from repro.obs.profile import Profiler, resolve_profile
 from repro.obs.span import Span
 
 __all__ = ["TraceRecorder"]
@@ -34,6 +35,13 @@ class TraceRecorder:
         Zero or more :class:`~repro.obs.sinks.TraceSink` objects; each
         finished span is pushed to every sink (under the recorder lock,
         so sinks need no locking of their own).
+    profile:
+        Data-plane profiling: ``None`` (default) defers to
+        ``$REPRO_PROFILE``, ``True``/``False``/a level string force it,
+        and an existing :class:`~repro.obs.profile.Profiler` is adopted
+        as-is.  When active, ``self.profiler`` records CPU/memory/GC/
+        serialization facts into the ``profile`` metric group and the
+        instrumented layers (runner, shuffle, fs) report through it.
 
     The recorder itself is the in-memory record: ``roots`` is the span
     tree, ``spans`` the flat close-order list, and ``job_results`` the
@@ -42,7 +50,7 @@ class TraceRecorder:
     consume).
     """
 
-    def __init__(self, *sinks: Any) -> None:
+    def __init__(self, *sinks: Any, profile: Any = None) -> None:
         self._sinks: List[Any] = list(sinks)
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -57,6 +65,16 @@ class TraceRecorder:
         #: The run's metric families; instrumented code records through
         #: ``observer.metrics`` whenever an observer is attached.
         self.metrics = MetricsRegistry()
+        #: The data-plane profiler, or ``None`` when profiling is off.
+        self.profiler: Optional[Profiler] = None
+        if isinstance(profile, Profiler):
+            self.profiler = profile
+        else:
+            level = resolve_profile(profile)
+            if level is not None:
+                self.profiler = Profiler(self.metrics, level=level)
+        if self.profiler is not None:
+            self.profiler.start()
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -117,6 +135,8 @@ class TraceRecorder:
             else:
                 parent.children.append(span)
         stack.append(span)
+        if self.profiler is not None:
+            self.profiler.on_span_start(span)
         return span
 
     def record_completed(
@@ -167,6 +187,10 @@ class TraceRecorder:
     def end_span(self, span: Span) -> None:
         """Close a span opened with :meth:`start_span`."""
         span.end = self._now()
+        if self.profiler is not None:
+            # Before sink emission, so profile annotations (CPU seconds,
+            # memory watermarks) reach the JSONL trace.
+            self.profiler.on_span_end(span)
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
@@ -218,7 +242,9 @@ class TraceRecorder:
             self._sinks.append(sink)
 
     def close(self) -> None:
-        """Flush and close every attached sink."""
+        """Flush and close every attached sink; stops the profiler."""
+        if self.profiler is not None:
+            self.profiler.stop()
         with self._lock:
             for sink in self._sinks:
                 sink.close()

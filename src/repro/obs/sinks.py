@@ -149,13 +149,39 @@ def load_spans_jsonl(path: str) -> List[Span]:
     artifact after the run is gone.  Blank lines are skipped; children
     lists stay empty (the file is flat, ``parent`` ids carry the tree).
     """
-    spans: List[Span] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                spans.append(Span.from_dict(json.loads(line)))
+    spans, warnings = load_spans_jsonl_tolerant(path)
+    if warnings:
+        raise ValueError(warnings[0])
     return spans
+
+
+def load_spans_jsonl_tolerant(path: str) -> "tuple[List[Span], List[str]]":
+    """Like :func:`load_spans_jsonl`, but degrades gracefully.
+
+    Unparsable or non-object lines are skipped and reported as warning
+    strings instead of raising, so ``repro report`` can render whatever
+    an older or truncated trace still contains.
+    """
+    spans: List[Span] = []
+    warnings: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                warnings.append(f"{path}:{number}: unparsable JSON ({exc})")
+                continue
+            if not isinstance(payload, dict):
+                warnings.append(
+                    f"{path}:{number}: expected a span object, got "
+                    f"{type(payload).__name__}"
+                )
+                continue
+            spans.append(Span.from_dict(payload))
+    return spans, warnings
 
 
 def open_sink(path: str, fmt: str) -> TraceSink:

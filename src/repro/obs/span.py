@@ -112,13 +112,15 @@ class Span:
     def from_dict(cls, payload: Dict[str, Any]) -> "Span":
         """Rebuild a span from :meth:`to_dict` output (children are not
         reconstructed — JSONL traces are flat; use ``parent`` ids to
-        re-link if a tree is needed)."""
+        re-link if a tree is needed).  Tolerant of older traces: missing
+        fields fall back to neutral defaults instead of raising, so
+        ``repro report`` can render what a previous version recorded."""
         return cls(
-            name=payload["name"],
-            kind=payload["kind"],
-            span_id=payload["id"],
+            name=str(payload.get("name", "?")),
+            kind=str(payload.get("kind", "span")),
+            span_id=payload.get("id", 0),
             parent_id=payload.get("parent"),
-            start=payload["start"],
+            start=payload.get("start", 0.0),
             end=payload.get("end"),
             thread_id=payload.get("thread", 0),
             attributes=dict(payload.get("attributes") or {}),

@@ -1,0 +1,140 @@
+"""Profiler passivity and chaos compatibility.
+
+Two invariants gate the data-plane profiler:
+
+* **Passivity** — profiling must never change what a run computes.  With
+  the profiler off, a recorder-observed run is bit-identical to the
+  seed behaviour (no ``profile`` families, no annotations); with it on,
+  output tuples, part files and the deterministic ``run``-group metric
+  fingerprint are bit-identical to the unprofiled run, for every
+  executor.
+* **Chaos compatibility** — ``--profile`` composes with fault
+  injection: a profiled chaos run still equals the clean run on
+  everything outside the allowlisted ``wall``/``faults``/``profile``
+  groups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.obs import TraceRecorder
+from repro.obs.metrics import GROUP_FAULTS, GROUP_PROFILE, GROUP_WALL
+
+from tests.conftest import make_dataset
+from tests.integration.test_fault_parity import pinned_plan
+
+EXECUTORS = ("serial", "threads", "processes")
+
+SEQUENCE = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R2", "before", "R3")]
+)
+HYBRID = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+)
+
+
+def _run(query, data, executor, *, profile=False, faults=False):
+    recorder = TraceRecorder(profile=profile)
+    result = execute(
+        query,
+        data,
+        num_partitions=5,
+        executor=executor,
+        workers=2,
+        observer=recorder,
+        faults=faults,
+        max_attempts=3 if faults is not False else 1,
+    )
+    recorder.close()
+    return result, recorder
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_profiled_run_is_bit_identical(executor):
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=5)
+    plain, plain_rec = _run(SEQUENCE, data, executor)
+    profiled, prof_rec = _run(SEQUENCE, data, executor, profile=True)
+
+    assert profiled.tuple_ids() == plain.tuple_ids()
+    assert len(plain) > 0
+
+    # The default fingerprint (wall and profile excluded) matches; the
+    # run group in particular is untouched by profiling.
+    assert prof_rec.metrics.fingerprint() == plain_rec.metrics.fingerprint()
+
+    # Part files job by job.
+    assert len(prof_rec.job_results) == len(plain_rec.job_results)
+    for prof_job, plain_job in zip(
+        prof_rec.job_results, plain_rec.job_results
+    ):
+        assert prof_job.reduce_task_outputs == plain_job.reduce_task_outputs
+
+
+def test_profiler_off_records_nothing():
+    """Profile off means OFF: no profile families, no annotations —
+    the observed run is exactly the seed behaviour."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=5)
+    _, recorder = _run(SEQUENCE, data, "serial", profile=False)
+    assert recorder.profiler is None
+    snapshot = recorder.metrics.as_dict()
+    assert not any(
+        entry.get("group") == GROUP_PROFILE for entry in snapshot.values()
+    )
+    assert not any(
+        key.startswith("profile_")
+        for span in recorder.spans
+        for key in span.attributes
+    )
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_profiled_chaos_equals_clean(executor):
+    """--profile + REPRO_FAULTS compose: the profiled chaos run matches
+    the clean unprofiled run bit for bit outside the allowlisted
+    groups."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+    clean, clean_rec = _run(HYBRID, data, "serial")
+    chaos, chaos_rec = _run(
+        HYBRID, data, executor, profile=True, faults=pinned_plan()
+    )
+
+    assert chaos.tuple_ids() == clean.tuple_ids()
+    assert chaos.metrics.tasks_failed > 0  # the plan actually fired
+
+    exclude = (GROUP_WALL, GROUP_FAULTS, GROUP_PROFILE)
+    assert chaos_rec.metrics.fingerprint(
+        exclude_groups=exclude
+    ) == clean_rec.metrics.fingerprint(exclude_groups=exclude)
+
+
+def test_processes_executor_reports_serialization():
+    """The processes backend's pickle boundary is real and must be
+    accounted: request/response bytes and parent/worker encode/decode
+    seconds all non-zero."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=5)
+    _, recorder = _run(SEQUENCE, data, "processes", profile=True)
+
+    nbytes = recorder.metrics.get("repro_profile_pickle_bytes_total")
+    assert nbytes is not None
+    directions = {labels[2] for labels, value in nbytes.samples() if value}
+    assert {"request", "response"} <= directions
+
+    seconds = recorder.metrics.get("repro_profile_pickle_seconds_total")
+    sides = {labels[2] for labels, value in seconds.samples() if value > 0}
+    assert {"parent", "worker"} <= sides
+
+
+def test_serial_and_threads_report_cpu_and_memory():
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=5)
+    for executor in ("serial", "threads"):
+        _, recorder = _run(SEQUENCE, data, executor, profile=True)
+        cpu = recorder.metrics.get("repro_profile_cpu_seconds_total")
+        assert cpu is not None, executor
+        wheres = {labels[2] for labels, _ in cpu.samples()}
+        assert "task" in wheres, executor
+        rss = recorder.metrics.get("repro_profile_mem_rss_peak_bytes")
+        assert rss is not None, executor
+        assert all(value > 0 for _, value in rss.samples()), executor

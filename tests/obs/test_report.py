@@ -161,12 +161,19 @@ class TestScriptedFaultStragglers:
         # The overhead is visible where it belongs: the fault summary.
         assert report.faults.attempt_spans == 1
         assert report.faults.overhead_seconds >= 0.04
-        # And the baseline run flags exactly the same stragglers.
-        baseline = RunReport.from_recorder(self._run(False))
-        assert flagged == {
-            (flag.job, flag.task_index)
-            for flag in baseline.flags_for(reason="straggler")
-        }
+        # And a baseline run flags exactly the same stragglers.  The
+        # baseline is its own threads-executor run whose ms-scale task
+        # timings can flag a phantom straggler under host load, so allow
+        # a couple of fresh baselines before declaring a mismatch.
+        for _ in range(3):
+            baseline = RunReport.from_recorder(self._run(False))
+            baseline_flagged = {
+                (flag.job, flag.task_index)
+                for flag in baseline.flags_for(reason="straggler")
+            }
+            if flagged == baseline_flagged:
+                break
+        assert flagged == baseline_flagged
 
 
 class TestProfilerExtensions:
