@@ -1,13 +1,31 @@
-"""Shuffle key-sort micro-benchmark — cached repr vs naive re-sorting.
+"""Shuffle micro-benchmarks — key-sort caching and the columnar plane.
 
-The shuffle orders keys by ``repr`` (the only total order over mixed key
-types).  The seed implementation called ``sorted(keys, key=repr)`` in
-``shuffle()`` *and again* inside ``RoundRobinKeyPartitioner.prepare``,
-recomputing every key's ``repr`` per consumer.  The current
-implementation decorates once (:func:`repro.mapreduce.shuffle._sorted_by_repr`)
-and hands the sorted ``(repr, key)`` pairs to the partitioner via
-``prepare_sorted``.  This benchmark times both on 100k grid-coordinate
-keys and writes ``BENCH_shuffle_sort.json``.
+Two comparisons share this file:
+
+* **Key sort** — the shuffle orders keys by ``repr`` (the only total
+  order over mixed key types).  The seed implementation called
+  ``sorted(keys, key=repr)`` in ``shuffle()`` *and again* inside
+  ``RoundRobinKeyPartitioner.prepare``, recomputing every key's ``repr``
+  per consumer.  The current implementation decorates once
+  (:func:`repro.mapreduce.shuffle._sorted_by_repr`) and hands the sorted
+  ``(repr, key)`` pairs to the partitioner via ``prepare_sorted``.  A
+  third arm orders the *same* key column the columnar plane's way — one
+  stable argsort over packed int64 cell codes plus a vectorised
+  round-robin task assignment, no per-key ``repr`` and no Python table.
+  (Production ``columnar_shuffle`` still repr-sorts the **distinct**
+  keys so routing stays bit-identical to the records plane; that costs
+  per *distinct key*, while this arm shows what ordering costs per
+  *column element* in each representation.)
+* **Data plane** — the records plane's :func:`shuffle` groups a pair
+  stream tuple-at-a-time (one dict insert + list append per pair), while
+  the columnar plane's :func:`columnar_shuffle` runs one stable argsort
+  over the int64 key-code column and decodes only the *distinct* keys.
+  Both arms are asserted to route identically before timing.
+
+Each arm reports the best of :data:`REPEATS` interleaved rounds —
+interleaving decorrelates the arms from host-load drift, which is what
+made the committed ``speedup`` numbers wobble when each arm ran in its
+own contiguous block.  Results go to ``BENCH_shuffle_sort.json``.
 """
 
 from __future__ import annotations
@@ -25,9 +43,24 @@ from common import emit_bench_json, print_section, render_table  # noqa: E402
 from repro.mapreduce.shuffle import (  # noqa: E402
     RoundRobinKeyPartitioner,
     _sorted_by_repr,
+    columnar_shuffle,
+    shuffle,
 )
 
 N_KEYS = 100_000
+
+#: Pair-stream shape for the data-plane arms: grid-cell keys over an
+#: ``o``-a-side reducer grid (the matrix-algorithm shape, high pair
+#: replication per cell), so the per-pair grouping cost — what the
+#: columnar plane removes — dominates the per-key repr-sort cost that
+#: both planes share.
+N_PAIRS = 400_000
+GRID_SIDE = 8
+NUM_TASKS = 8
+
+#: Timed rounds per arm; each arm keeps its best.  7 interleaved rounds
+#: instead of 5 contiguous ones — see the module docstring.
+REPEATS = 7
 
 
 def make_keys(n=N_KEYS):
@@ -56,14 +89,101 @@ def cached_single_sort(keys):
     return [key for _, key in ordered], partitioner._table
 
 
-def _best_of(fn, keys, repeats=5):
-    best = None
+def make_codes(keys):
+    """The same keys as the columnar plane carries them: packed int64."""
+    import numpy as np
+
+    return np.asarray(
+        [(i << 32) | j for i, j in keys], dtype=np.int64
+    )
+
+
+def columnar_argsort_sort(codes):
+    """The columnar plane's ordering of the same key column.
+
+    One stable argsort over the packed codes plus a vectorised
+    round-robin task assignment over the resulting ranks — the columnar
+    analogue of "order the keys and give each one a reduce task".
+    """
+    import numpy as np
+
+    order = np.argsort(codes, kind="stable")
+    tasks = np.arange(len(order), dtype=np.int64) % NUM_TASKS
+    return order, tasks
+
+
+def make_pair_stream(n_pairs=N_PAIRS, grid_side=GRID_SIDE):
+    """One pair stream in both plane representations.
+
+    Returns ``(pairs, batch)``: the records plane's ``(key, value)`` list
+    — native ``(i, j)`` grid-cell tuple keys — and the equivalent
+    :class:`~repro.columnar.batch.ColumnarPairs` batch of packed int64
+    cell codes.  Values are the pair's gid, so routing parity between
+    the arms is checkable by direct comparison against each group's gid
+    column.
+    """
+    import numpy as np
+
+    from repro.columnar.batch import ColumnarPairs, MapBlock
+    from repro.columnar.codec import KEY_CODECS
+
+    rng = np.random.default_rng(2014)
+    rows = rng.integers(0, grid_side, size=n_pairs, dtype=np.int64)
+    cols = rng.integers(0, grid_side, size=n_pairs, dtype=np.int64)
+    key_codes = (rows << np.int64(32)) | cols
+    starts = rng.uniform(0.0, 100_000.0, size=n_pairs)
+    ends = starts + rng.uniform(1.0, 100.0, size=n_pairs)
+    row_idx = np.arange(n_pairs, dtype=np.int64)
+
+    cell_keys = list(zip(rows.tolist(), cols.tolist()))
+    pairs = list(zip(cell_keys, row_idx.tolist()))
+    batch = ColumnarPairs(KEY_CODECS["cell"])
+    batch.append_block(
+        MapBlock.single_tag(key_codes, row_idx, "R1"), 0, starts, ends
+    )
+    batch.columns()  # finalise outside the timed region
+    return pairs, batch
+
+
+def records_shuffle(stream):
+    """The records plane: tuple-at-a-time grouping of the pair stream."""
+    pairs, _ = stream
+    return shuffle(pairs, NUM_TASKS, RoundRobinKeyPartitioner())
+
+
+def columnar_plane_shuffle(stream):
+    """The columnar plane: one stable argsort over the key-code column."""
+    _, batch = stream
+    return columnar_shuffle(batch, NUM_TASKS, RoundRobinKeyPartitioner())
+
+
+def _assert_planes_route_identically(stream):
+    """Same keys, same order, same per-group pair stream on every task."""
+    records_tasks = records_shuffle(stream)
+    columnar_tasks = columnar_plane_shuffle(stream)
+    assert len(records_tasks) == len(columnar_tasks)
+    for r_groups, c_groups in zip(records_tasks, columnar_tasks):
+        assert [key for key, _ in r_groups] == [key for key, _ in c_groups]
+        for (_, r_values), (_, c_values) in zip(r_groups, c_groups):
+            assert r_values == c_values.gids.tolist()
+
+
+def _interleaved_best_of(fns, argument, repeats=REPEATS):
+    """Best wall-clock per function over ``repeats`` interleaved rounds.
+
+    Round-robin between the arms inside each round, so slow drift in host
+    load (the usual source of wobbly speedup ratios) hits every arm
+    roughly equally instead of biasing whichever ran last.
+    """
+    bests = [None] * len(fns)
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn(keys)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn(argument)
+            elapsed = time.perf_counter() - start
+            if bests[index] is None or elapsed < bests[index]:
+                bests[index] = elapsed
+    return bests
 
 
 def main() -> None:
@@ -78,26 +198,73 @@ def main() -> None:
     assert naive_order == cached_order
     assert naive_table == cached_table
 
-    naive_s = _best_of(naive_double_sort, keys)
-    cached_s = _best_of(cached_single_sort, keys)
+    codes = make_codes(keys)
+    # The columnar arm must see every key exactly once, like the others.
+    order, _ = columnar_argsort_sort(codes)
+    assert sorted(keys) == [keys[i] for i in order]
+
+    naive_s, cached_s = _interleaved_best_of(
+        [naive_double_sort, cached_single_sort], keys
+    )
+    (argsort_s,) = _interleaved_best_of([columnar_argsort_sort], codes)
     speedup = naive_s / cached_s
+    argsort_speedup = naive_s / argsort_s
     print(
         render_table(
-            "best of 5",
+            f"best of {REPEATS} (interleaved)",
             ["variant", "seconds", "speedup"],
             [
                 ["naive double sort", f"{naive_s:.4f}", "1.00"],
                 ["cached decorate-sort", f"{cached_s:.4f}", f"{speedup:.2f}"],
+                [
+                    "columnar argsort",
+                    f"{argsort_s:.4f}",
+                    f"{argsort_speedup:.2f}",
+                ],
             ],
         )
     )
+
+    stream = make_pair_stream()
+    print_section(
+        f"Shuffle data plane — records grouping vs columnar argsort "
+        f"({N_PAIRS:,} pairs, {GRID_SIDE}x{GRID_SIDE} grid cells, "
+        f"{NUM_TASKS} tasks)"
+    )
+    _assert_planes_route_identically(stream)
+    records_s, columnar_s = _interleaved_best_of(
+        [records_shuffle, columnar_plane_shuffle], stream
+    )
+    columnar_speedup = records_s / columnar_s
+    print(
+        render_table(
+            f"best of {REPEATS} (interleaved)",
+            ["plane", "seconds", "speedup"],
+            [
+                ["records (tuple-at-a-time)", f"{records_s:.4f}", "1.00"],
+                [
+                    "columnar (argsort)",
+                    f"{columnar_s:.4f}",
+                    f"{columnar_speedup:.2f}",
+                ],
+            ],
+        )
+    )
+
     emit_bench_json(
         "shuffle_sort",
         {
             "num_keys": len(keys),
             "naive_double_sort_seconds": round(naive_s, 6),
             "cached_decorate_sort_seconds": round(cached_s, 6),
+            "columnar_argsort_seconds": round(argsort_s, 6),
             "speedup": round(speedup, 3),
+            "argsort_speedup": round(argsort_speedup, 3),
+            "num_pairs": N_PAIRS,
+            "grid_side": GRID_SIDE,
+            "records_shuffle_seconds": round(records_s, 6),
+            "columnar_shuffle_seconds": round(columnar_s, 6),
+            "columnar_speedup": round(columnar_speedup, 3),
         },
     )
 
@@ -110,6 +277,16 @@ def main() -> None:
 def test_shuffle_sort(benchmark, variant, fn):
     keys = make_keys(20_000)
     benchmark.pedantic(fn, args=(keys,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "plane,fn",
+    [("records", records_shuffle), ("columnar", columnar_plane_shuffle)],
+)
+def test_shuffle_data_plane(benchmark, plane, fn):
+    stream = make_pair_stream(40_000, 4)
+    _assert_planes_route_identically(stream)
+    benchmark.pedantic(fn, args=(stream,), rounds=1, iterations=1)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,119 @@
+"""Markdown summary of columnar-vs-records data-plane speedups.
+
+Reads the freshly generated ``BENCH_executors.json`` and
+``BENCH_shuffle_sort.json`` (see ``emit_bench_json`` in
+:mod:`benchmarks.common`) and prints a GitHub-flavoured markdown table
+of the columnar plane's wall-clock ratios — CI appends it to
+``$GITHUB_STEP_SUMMARY`` so every run shows the cross-plane numbers
+without digging through artifacts.
+
+Purely presentational: the pass/fail verdict on these numbers lives in
+``check_regression.py``.  Artifacts recorded before the columnar arms
+existed render as an explanatory note instead of failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+EXECUTORS = ("serial", "threads", "processes")
+
+
+def _load(bench_dir: str, filename: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(bench_dir, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def executor_table(artifact: Optional[Dict[str, Any]]) -> List[str]:
+    lines = ["### Executor workloads (records ÷ columnar wall-clock)", ""]
+    workloads = (artifact or {}).get("results", {}).get("workloads", [])
+    rows = [
+        row
+        for row in workloads
+        if any(f"{e}_columnar_seconds" in row for e in EXECUTORS)
+    ]
+    if not rows:
+        lines.append(
+            "_no columnar arms in BENCH_executors.json — artifact predates "
+            "the columnar data plane_"
+        )
+        return lines
+    lines += [
+        "| workload | executor | records s | columnar s | columnar × |",
+        "| --- | --- | ---: | ---: | ---: |",
+    ]
+    for row in rows:
+        for executor in EXECUTORS:
+            records = row.get(f"{executor}_seconds")
+            columnar = row.get(f"{executor}_columnar_seconds")
+            speedup = row.get(f"{executor}_columnar_speedup")
+            if records is None or columnar is None:
+                continue
+            lines.append(
+                f"| {row.get('workload', '?')} | {executor} "
+                f"| {records:.3f} | {columnar:.3f} "
+                f"| {speedup:.2f} |"
+            )
+    return lines
+
+
+def shuffle_table(artifact: Optional[Dict[str, Any]]) -> List[str]:
+    lines = ["### Shuffle micro-benchmark", ""]
+    results = (artifact or {}).get("results", {})
+    if "columnar_shuffle_seconds" not in results:
+        lines.append(
+            "_no columnar arm in BENCH_shuffle_sort.json — artifact "
+            "predates the columnar data plane_"
+        )
+        return lines
+    lines += [
+        "| comparison | records s | columnar s | columnar × |",
+        "| --- | ---: | ---: | ---: |",
+        (
+            f"| key ordering (repr-sort vs argsort) "
+            f"| {results.get('naive_double_sort_seconds', 0):.4f} "
+            f"| {results.get('columnar_argsort_seconds', 0):.4f} "
+            f"| {results.get('argsort_speedup', 0):.2f} |"
+        ),
+        (
+            f"| end-to-end shuffle (grouping + routing) "
+            f"| {results.get('records_shuffle_seconds', 0):.4f} "
+            f"| {results.get('columnar_shuffle_seconds', 0):.4f} "
+            f"| {results.get('columnar_speedup', 0):.2f} |"
+        ),
+    ]
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Print a markdown table of columnar-vs-records speedups from "
+            "fresh BENCH_*.json artifacts."
+        )
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory holding BENCH_executors.json / "
+        "BENCH_shuffle_sort.json (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+
+    lines = ["## Data plane: columnar vs records", ""]
+    lines += executor_table(_load(args.bench_dir, "BENCH_executors.json"))
+    lines.append("")
+    lines += shuffle_table(_load(args.bench_dir, "BENCH_shuffle_sort.json"))
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_WORKERS, then the CPU count)",
     )
     run.add_argument(
+        "--data-plane", default=None,
+        choices=["records", "columnar"],
+        help="intermediate-pair representation: tuple-at-a-time records "
+        "or struct-of-arrays columns with zero-copy shared-memory "
+        "transfer (default: $REPRO_DATA_PLANE, then records)",
+    )
+    run.add_argument(
         "--partition-strategy", default="uniform",
         choices=["uniform", "equi_depth"],
     )
@@ -232,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(requires --relation bindings)",
     )
     explain.add_argument(
+        "--data-plane", default=None,
+        choices=["records", "columnar"],
+        help="data plane the run would use, surfaced in the plan "
+        "(default: $REPRO_DATA_PLANE, then records)",
+    )
+    explain.add_argument(
         "--json", action="store_true",
         help="emit the plan as JSON instead of the printable rendering",
     )
@@ -263,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker count for the parallel executors",
+    )
+    profile.add_argument(
+        "--data-plane", default=None,
+        choices=["records", "columnar"],
+        help="intermediate-pair representation "
+        "(default: $REPRO_DATA_PLANE, then records)",
     )
     profile.add_argument(
         "--full", action="store_true",
@@ -380,6 +399,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         num_partitions=args.partitions,
         prune=args.prune,
         exact=args.exact,
+        data_plane=args.data_plane,
     )
     if args.json:
         print(json.dumps(explained.as_dict(), indent=2, sort_keys=True))
@@ -401,16 +421,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             data,
             algorithm=args.algorithm,
             num_partitions=args.partitions,
+            data_plane=args.data_plane,
         )
         print(explained.render())
         if explained.provably_empty:
             return 0
         print()
-    # Validate executor/workers up front so bad values fail before any work.
+    # Validate executor/workers/data-plane up front so bad values fail
+    # before any work.
+    from repro.columnar.plane import resolve_data_plane
     from repro.mapreduce.runner import resolve_executor, resolve_workers
 
     executor = resolve_executor(args.executor)
     workers = resolve_workers(args.workers)
+    data_plane = resolve_data_plane(args.data_plane)
     from repro.obs import resolve_profile
 
     if args.profile_full:
@@ -448,6 +472,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         max_attempts=args.max_attempts,
         speculative=args.speculative,
+        data_plane=data_plane,
     )
     if observer is not None:
         observer.close()
@@ -456,6 +481,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"class:      {query.query_class.name}")
     print(f"algorithm:  {m.algorithm}")
     print(f"executor:   {executor} ({workers} workers)")
+    print(f"data plane: {data_plane}")
     print(f"tuples:     {len(result)}")
     print(f"cycles:     {m.num_cycles}")
     print(f"shuffled:   {human_count(m.shuffled_records)} pairs")
@@ -541,6 +567,7 @@ def _write_profile_artifacts(profiler, args: argparse.Namespace, query: str) -> 
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.columnar.plane import resolve_data_plane
     from repro.mapreduce.runner import resolve_executor, resolve_workers
     from repro.obs import TraceRecorder, dashboard_from_recorder
 
@@ -550,6 +577,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     executor = resolve_executor(args.executor)
     workers = resolve_workers(args.workers)
+    data_plane = resolve_data_plane(args.data_plane)
     observer = TraceRecorder(profile="full" if args.full else True)
     result = execute(
         query,
@@ -559,12 +587,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         executor=executor,
         workers=workers,
         observer=observer,
+        data_plane=data_plane,
     )
     observer.close()
     m = result.metrics
     print(f"query:      {query}")
     print(f"algorithm:  {m.algorithm}")
     print(f"executor:   {executor} ({workers} workers)")
+    print(f"data plane: {data_plane}")
     print(f"tuples:     {len(result)}")
     print()
     print(observer.profiler.summary())

@@ -1,0 +1,36 @@
+"""Data-plane selection, mirroring the executor plumbing.
+
+``resolve_data_plane`` resolves an explicit argument, then the
+``REPRO_DATA_PLANE`` environment variable, then the ``"records"``
+default — exactly how :func:`repro.mapreduce.runner.resolve_executor`
+resolves the execution backend.  CI uses the environment variable to
+run the whole suite on one plane.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import MapReduceError
+
+__all__ = ["DATA_PLANES", "DATA_PLANE_ENV", "resolve_data_plane"]
+
+#: The recognised data planes.  ``records`` is the legacy tuple-at-a-time
+#: plane; ``columnar`` batches intermediate pairs as numpy columns.
+DATA_PLANES = ("records", "columnar")
+
+#: Environment variable consulted when ``data_plane`` is not given
+#: explicitly (how CI forces a whole test run onto one plane).
+DATA_PLANE_ENV = "REPRO_DATA_PLANE"
+
+
+def resolve_data_plane(data_plane: Optional[str] = None) -> str:
+    """The effective data plane: explicit argument, else
+    ``$REPRO_DATA_PLANE``, else ``"records"``.  Unknown names raise."""
+    name = data_plane or os.environ.get(DATA_PLANE_ENV, "").strip() or "records"
+    if name not in DATA_PLANES:
+        raise MapReduceError(
+            f"unknown data plane {name!r}; expected one of {DATA_PLANES}"
+        )
+    return name

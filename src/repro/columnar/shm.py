@@ -1,0 +1,144 @@
+"""Zero-copy reduce-task transport over ``multiprocessing.shared_memory``.
+
+The ``processes`` executor on the columnar plane packs each reduce
+task's group columns into **one** shared-memory block instead of
+pickling value lists:
+
+* layout: ``[gids int64 | starts f64 | ends f64 | tag_codes int16]``,
+  all groups concatenated in group order (the 2-byte column goes last so
+  every column stays naturally aligned);
+* the picklable :class:`ShmReduceTask` descriptor carries only the block
+  name, the per-group keys/lengths and the tag table — a few hundred
+  bytes regardless of data size, which is the pickle-bytes collapse the
+  profiler's ``repro_profile_shm_bytes_total`` family makes visible.
+
+Ownership: the **parent** creates and unlinks every block (create →
+dispatch → join → unlink, in a ``finally``); workers attach, build
+array views, and must drop every view before ``close()`` — a live view
+of ``shm.buf`` raises ``BufferError`` on close.  Fork-started workers
+share the parent's ``resource_tracker`` process, so the worker-side
+attach registration is an idempotent set-add there and the parent's
+unlink remains the single point of removal — explicitly unregistering
+would *remove* the creator's entry and make the later unlink complain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.batch import ColumnValues
+
+__all__ = ["ShmReduceTask", "pack_reduce_task", "unpack_reduce_task"]
+
+
+@dataclass
+class ShmReduceTask:
+    """Picklable descriptor of one packed reduce task."""
+
+    shm_name: Optional[str]  # None for an empty task (shm size must be > 0)
+    total_rows: int
+    keys: List[Hashable]
+    lengths: List[int]
+    tags: Tuple[str, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return self.total_rows * (8 + 8 + 8 + 2)
+
+
+def _column_views(
+    buf, total_rows: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    gids = np.ndarray((total_rows,), dtype=np.int64, buffer=buf, offset=0)
+    starts = np.ndarray(
+        (total_rows,), dtype=np.float64, buffer=buf, offset=8 * total_rows
+    )
+    ends = np.ndarray(
+        (total_rows,), dtype=np.float64, buffer=buf, offset=16 * total_rows
+    )
+    tag_codes = np.ndarray(
+        (total_rows,), dtype=np.int16, buffer=buf, offset=24 * total_rows
+    )
+    return gids, starts, ends, tag_codes
+
+
+def pack_reduce_task(
+    groups: Sequence[Tuple[Hashable, ColumnValues]],
+) -> Tuple[ShmReduceTask, Optional[shared_memory.SharedMemory]]:
+    """Pack one task's groups into a fresh shared-memory block.
+
+    Returns the descriptor plus the block (``None`` when the task is
+    empty); the caller owns the block and must ``close()`` + ``unlink()``
+    it once the task result has been collected.
+    """
+    keys = [key for key, _ in groups]
+    lengths = [len(values) for _, values in groups]
+    total = sum(lengths)
+    tags: Tuple[str, ...] = groups[0][1].tags if groups else ()
+    if total == 0:
+        return ShmReduceTask(None, 0, keys, lengths, tags), None
+    shm = shared_memory.SharedMemory(
+        create=True, size=total * (8 + 8 + 8 + 2)
+    )
+    gids, starts, ends, tag_codes = _column_views(shm.buf, total)
+    offset = 0
+    for _, values in groups:
+        n = len(values)
+        gids[offset : offset + n] = values.gids
+        starts[offset : offset + n] = values.starts
+        ends[offset : offset + n] = values.ends
+        tag_codes[offset : offset + n] = values.tag_codes
+        offset += n
+    del gids, starts, ends, tag_codes
+    return ShmReduceTask(shm.name, total, keys, lengths, tags), shm
+
+
+def unpack_reduce_task(
+    task: ShmReduceTask,
+) -> Tuple[List[Tuple[Hashable, ColumnValues]], Optional[shared_memory.SharedMemory]]:
+    """Rebuild a packed task's groups inside a worker process.
+
+    The returned :class:`ColumnValues` hold **views** into the attached
+    block (``store=None`` — workers emit gid outputs, the parent
+    materialises).  The caller must drop every group before closing the
+    returned block.
+    """
+    if task.shm_name is None:
+        empty = [
+            (
+                key,
+                ColumnValues(
+                    key,
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int16),
+                    task.tags,
+                    None,
+                ),
+            )
+            for key in task.keys
+        ]
+        return empty, None
+    shm = shared_memory.SharedMemory(name=task.shm_name)
+    gids, starts, ends, tag_codes = _column_views(shm.buf, task.total_rows)
+    groups: List[Tuple[Hashable, ColumnValues]] = []
+    offset = 0
+    for key, n in zip(task.keys, task.lengths):
+        sl = slice(offset, offset + n)
+        groups.append(
+            (
+                key,
+                ColumnValues(
+                    key, gids[sl], starts[sl], ends[sl], tag_codes[sl],
+                    task.tags, None,
+                ),
+            )
+        )
+        offset += n
+    del gids, starts, ends, tag_codes
+    return groups, shm

@@ -122,6 +122,7 @@ class AllReplicate(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -133,6 +134,7 @@ class AllReplicate(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

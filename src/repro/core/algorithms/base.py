@@ -173,6 +173,7 @@ class JoinAlgorithm(abc.ABC):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         """Execute the query and return tuples plus metrics.
 
@@ -215,6 +216,11 @@ class JoinAlgorithm(abc.ABC):
         speculative:
             Speculative re-execution of plan-delayed stragglers
             (``None``: ``$REPRO_SPECULATIVE``).
+        data_plane:
+            ``"records"`` or ``"columnar"``; ``None`` defers to
+            ``$REPRO_DATA_PLANE``.  Both planes are bit-identical in
+            tuples, counters and logical loads; jobs whose mappers or
+            reducer lack columnar support fall back to records per job.
         """
 
     # ------------------------------------------------------------------
@@ -263,6 +269,7 @@ class JoinAlgorithm(abc.ABC):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> Tuple[FileSystem, Pipeline, Partitioning]:
         """Common preamble: file system, pipeline, partitioning, inputs."""
         if num_partitions < 1:
@@ -277,6 +284,7 @@ class JoinAlgorithm(abc.ABC):
             faults=faults,
             max_attempts=max_attempts,
             speculative=speculative,
+            data_plane=data_plane,
         )
         if partitioning is None:
             partitioning = build_partitioning(

@@ -28,6 +28,7 @@ from collections import defaultdict
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
+from repro.columnar.batch import ColumnValues, reduce_columns
 from repro.core.algorithms.base import JoinAlgorithm, input_path
 from repro.core.query import IntervalJoinQuery, JoinCondition
 from repro.core.results import JoinResult
@@ -99,8 +100,53 @@ def _routing_condition(step_conditions: Sequence[JoinCondition]) -> JoinConditio
     return step_conditions[0]
 
 
+def _cell_tables(partitioning: Partitioning, by_coord):
+    """Dense per-coordinate grid fan-out tables.
+
+    Returns ``(codes, counts, offsets)``: for coordinate ``q`` the cells
+    of ``by_coord[q]`` (insertion order, as the records plane emits them)
+    are ``codes[offsets[q] : offsets[q] + counts[q]]`` as packed int64
+    cell codes.
+    """
+    import numpy as np
+
+    from repro.columnar.codec import CellKeyCodec
+
+    n = len(partitioning)
+    counts = np.zeros(n, dtype=np.int64)
+    offsets = np.zeros(n, dtype=np.int64)
+    codes: List[int] = []
+    for coord in range(n):
+        cells = by_coord.get(coord, ())
+        offsets[coord] = len(codes)
+        counts[coord] = len(cells)
+        codes.extend(CellKeyCodec.encode_cell(cell) for cell in cells)
+    return np.asarray(codes, dtype=np.int64), counts, offsets
+
+
+def _grid_map_block(partitioning: Partitioning, tables, starts, tag: str):
+    """Vectorised grid-mapper emission: each record fans out to the cells
+    pinned at its projected coordinate, in per-coordinate insertion order
+    (record-major, matching the records plane's per-record loops)."""
+    import numpy as np
+
+    from repro.columnar.batch import MapBlock
+
+    codes, counts, offsets = tables
+    q = partitioning.locate_array(starts)
+    per = counts[q]
+    total = int(per.sum())
+    row_idx = np.repeat(np.arange(len(q), dtype=np.int64), per)
+    run_offsets = np.cumsum(per) - per
+    intra = np.arange(total, dtype=np.int64) - np.repeat(run_offsets, per)
+    key_codes = codes[np.repeat(offsets[q], per) + intra]
+    return MapBlock.single_tag(key_codes, row_idx, tag)
+
+
 class _RowSideMapper(Mapper):
     """Route a base relation's rows with one Figure-1 operator."""
+
+    columnar_key_kind = "int"
 
     def __init__(
         self,
@@ -131,9 +177,37 @@ class _RowSideMapper(Mapper):
         for index in targets:
             context.emit(index, payload)
 
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            interval = record.interval(self.attribute)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        from repro.columnar.batch import MapBlock, operator_map_columns
+
+        key_codes, row_idx, counters = operator_map_columns(
+            self.partitioning, self.operator, starts, ends
+        )
+        return MapBlock.single_tag(key_codes, row_idx, self.side, counters)
+
+    def value_of(self, record: Row):
+        return (self.side, (self.relation, record))
+
 
 class _PartialSideMapper(Mapper):
     """Route partial tuples by one bound member's interval."""
+
+    columnar_key_kind = "int"
 
     def __init__(
         self,
@@ -170,9 +244,37 @@ class _PartialSideMapper(Mapper):
         for index in targets:
             context.emit(index, payload)
 
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            interval = self._member_interval(record)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        from repro.columnar.batch import MapBlock, operator_map_columns
+
+        key_codes, row_idx, counters = operator_map_columns(
+            self.partitioning, self.operator, starts, ends
+        )
+        return MapBlock.single_tag(key_codes, row_idx, _BOUND_SIDE, counters)
+
+    def value_of(self, record: PartialTuple):
+        return (_BOUND_SIDE, record)
+
 
 class _GridRowMapper(Mapper):
     """Sequence step, new-relation side: pin this side's grid dimension."""
+
+    columnar_key_kind = "cell"
 
     def __init__(
         self,
@@ -191,15 +293,43 @@ class _GridRowMapper(Mapper):
         for cell in cells:
             self.by_coord[cell[dim]].append(cell)
         self.side = side
+        self._tables = None
 
     def map(self, record: Row, context: MapContext) -> None:
         q = self.partitioning.project(record.interval(self.attribute))
         for cell in self.by_coord.get(q, ()):
             context.emit(cell, (self.side, (self.relation, record)))
 
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            interval = record.interval(self.attribute)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        if self._tables is None:
+            self._tables = _cell_tables(self.partitioning, self.by_coord)
+        return _grid_map_block(
+            self.partitioning, self._tables, starts, self.side
+        )
+
+    def value_of(self, record: Row):
+        return (self.side, (self.relation, record))
+
 
 class _GridPartialMapper(Mapper):
     """Sequence step, intermediate side: pin dimension by member start."""
+
+    columnar_key_kind = "cell"
 
     def __init__(
         self,
@@ -216,17 +346,46 @@ class _GridPartialMapper(Mapper):
         self.by_coord: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
         for cell in cells:
             self.by_coord[cell[dim]].append(cell)
+        self._tables = None
 
-    def map(self, record: PartialTuple, context: MapContext) -> None:
+    def _member_interval(self, record: PartialTuple):
         for relation, row in record:
             if relation == self.member_relation:
-                interval = row.interval(self.attribute)
-                break
-        else:  # pragma: no cover - structurally impossible
-            raise PlanningError("partial tuple missing routing member")
+                return row.interval(self.attribute)
+        raise PlanningError(  # pragma: no cover - structurally impossible
+            "partial tuple missing routing member"
+        )
+
+    def map(self, record: PartialTuple, context: MapContext) -> None:
+        interval = self._member_interval(record)
         q = self.partitioning.project(interval)
         for cell in self.by_coord.get(q, ()):
             context.emit(cell, (_BOUND_SIDE, record))
+
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            interval = self._member_interval(record)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        if self._tables is None:
+            self._tables = _cell_tables(self.partitioning, self.by_coord)
+        return _grid_map_block(
+            self.partitioning, self._tables, starts, _BOUND_SIDE
+        )
+
+    def value_of(self, record: PartialTuple):
+        return (_BOUND_SIDE, record)
 
 
 class _StepJoinReducer(Reducer):
@@ -265,6 +424,9 @@ class _StepJoinReducer(Reducer):
     def reduce(
         self, key: Hashable, values: List[Tuple[str, object]], context: ReduceContext
     ) -> None:
+        if isinstance(values, ColumnValues):
+            reduce_columns(self, key, values, context)
+            return
         partials: List[Tuple[object, PartialTuple]] = []
         new_rows: List[Tuple[object, Row]] = []
         for side, payload in values:
@@ -316,10 +478,43 @@ class _StepJoinReducer(Reducer):
             if ok:
                 context.emit(partial + ((self.new_relation, row),))
 
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        # Residual (non-routing) conditions read arbitrary member
+        # attributes, which the routing columns do not carry.
+        return not self.conditions
+
+    def columnar_outputs(self, key, values: ColumnValues, counters):
+        from repro.intervals.sweep import join_pairs
+
+        bound_mask = values.tag_mask(_BOUND_SIDE)
+        partials = values.items(bound_mask)
+        news = values.items(~bound_mask)
+        if self._new_is_left:
+            left_items, right_items = news, partials
+        else:
+            left_items, right_items = partials, news
+        for litem, ritem in join_pairs(
+            left_items, right_items, self.routing.predicate
+        ):
+            counters.increment("work", "comparisons")
+            if self._new_is_left:
+                yield (ritem[1], litem[1])
+            else:
+                yield (litem[1], ritem[1])
+
+    def materialize_output(self, out, store):
+        bound_gid, new_gid = out
+        partial: PartialTuple = store.value(bound_gid)[1]
+        row = store.value(new_gid)[1][1]
+        return partial + ((self.new_relation, row),)
+
 
 class _WrapMapper(Mapper):
     """Wrap a base relation's rows as 1-member partial tuples (step 0
     bound side)."""
+
+    columnar_key_kind = "int"
 
     def __init__(
         self,
@@ -335,6 +530,30 @@ class _WrapMapper(Mapper):
 
     def map(self, record: Row, context: MapContext) -> None:
         self._inner.map(((self.relation, record),), context)
+
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        attribute = self._inner.attribute
+        for i, record in enumerate(records):
+            interval = record.interval(attribute)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        # Routing depends only on the encoded endpoints, so the inner
+        # mapper's operator logic applies to the raw rows unchanged.
+        return self._inner.map_columns(starts, ends, records)
+
+    def value_of(self, record: Row):
+        return (_BOUND_SIDE, ((self.relation, record),))
 
 
 class TwoWayCascade(JoinAlgorithm):
@@ -363,6 +582,7 @@ class TwoWayCascade(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -373,6 +593,7 @@ class TwoWayCascade(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations
@@ -629,6 +850,8 @@ class _GridWrapMapper(Mapper):
     """Step-0 bound side of a sequence step: wrap rows as partial tuples
     and pin the grid dimension."""
 
+    columnar_key_kind = "cell"
+
     def __init__(
         self,
         relation: str,
@@ -644,3 +867,25 @@ class _GridWrapMapper(Mapper):
 
     def map(self, record: Row, context: MapContext) -> None:
         self._inner.map(((self.relation, record),), context)
+
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        attribute = self._inner.attribute
+        for i, record in enumerate(records):
+            interval = record.interval(attribute)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        return self._inner.map_columns(starts, ends, records)
+
+    def value_of(self, record: Row):
+        return (_BOUND_SIDE, ((self.relation, record),))

@@ -539,6 +539,7 @@ class GenMatrix(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         self._check_query(query)
         try:
@@ -562,6 +563,7 @@ class GenMatrix(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         if partitioning is not None or len(set(per_dim_parts)) == 1:
             partitionings: List[Partitioning] = [parts] * len(

@@ -183,6 +183,7 @@ class FCTS(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError("FCTS handles single-attribute queries")
@@ -230,6 +231,7 @@ class FCTS(JoinAlgorithm):
                     faults=faults,
                     max_attempts=max_attempts,
                     speculative=speculative,
+                    data_plane=data_plane,
                 )
                 sub_metrics.append(sub_result.metrics)
                 seq_filters = [
@@ -272,6 +274,7 @@ class FCTS(JoinAlgorithm):
             faults=faults,
             max_attempts=max_attempts,
             speculative=speculative,
+            data_plane=data_plane,
         )
         from repro.core.algorithms.base import build_partitioning
 
@@ -467,6 +470,7 @@ class FSTC(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if query.query_class is not QueryClass.HYBRID:
             raise PlanningError("FSTC handles hybrid queries")
@@ -500,6 +504,7 @@ class FSTC(JoinAlgorithm):
             faults=faults,
             max_attempts=max_attempts,
             speculative=speculative,
+            data_plane=data_plane,
         )
         partial_records = [
             tuple((name, row) for name, row in zip(seq_query.relations, t))
@@ -529,6 +534,7 @@ class FSTC(JoinAlgorithm):
             faults=faults,
             max_attempts=max_attempts,
             speculative=speculative,
+            data_plane=data_plane,
         )
         bound: List[str] = list(seq_query.relations)
         remaining = [n for n in query.relations if n not in bound]

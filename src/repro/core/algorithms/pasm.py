@@ -180,6 +180,7 @@ class PASM(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if not query.is_single_attribute:
             raise PlanningError(
@@ -196,6 +197,7 @@ class PASM(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         grid = GridSpec(graph, parts)
         multi_components = [

@@ -26,6 +26,7 @@ from collections import defaultdict
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
+from repro.columnar.batch import ColumnValues, reduce_columns
 from repro.core.algorithms.base import JoinAlgorithm, input_path
 from repro.core.local import LocalJoiner
 from repro.core.query import IntervalJoinQuery, QueryClass
@@ -110,6 +111,8 @@ class FlaggingReducer(Reducer):
 class RouteMapper(Mapper):
     """Cycle 2 map: replicate flagged rows, project the rest."""
 
+    columnar_key_kind = "int"
+
     def __init__(self, attributes: Mapping[str, str], partitioning: Partitioning):
         self.attributes = dict(attributes)
         self.partitioning = partitioning
@@ -128,6 +131,55 @@ class RouteMapper(Mapper):
                 context.emit(index, (relation, row))
         else:
             context.emit(self.partitioning.project(interval), (relation, row))
+
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, (relation, row, _flagged) in enumerate(records):
+            interval = row.interval(self.attributes[relation])
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        import numpy as np
+
+        from repro.columnar.batch import MapBlock, ranged_targets
+
+        n = len(records)
+        flags = np.fromiter(
+            (bool(record[2]) for record in records), dtype=bool, count=n
+        )
+        tags: List[str] = []
+        index_of: Dict[str, int] = {}
+        tag_of_record = np.empty(n, dtype=np.int16)
+        for i, (relation, _row, _flagged) in enumerate(records):
+            code = index_of.get(relation)
+            if code is None:
+                code = index_of[relation] = len(tags)
+                tags.append(relation)
+            tag_of_record[i] = code
+        lo = self.partitioning.locate_array(starts)
+        hi = np.where(
+            flags, np.int64(len(self.partitioning) - 1), lo
+        ).astype(np.int64)
+        key_codes, row_idx = ranged_targets(lo, hi)
+        counters: Dict[Tuple[str, str], int] = {}
+        replicated = int((hi[flags] - lo[flags] + 1).sum()) if n else 0
+        if replicated:
+            counters[("join", "replicated_pairs")] = replicated
+        return MapBlock(
+            key_codes, row_idx, tag_of_record[row_idx], tags, counters
+        )
+
+    def value_of(self, record: Tuple[str, Row, bool]):
+        return (record[0], record[1])
 
 
 class JoinReducer(Reducer):
@@ -160,6 +212,15 @@ class JoinReducer(Reducer):
     def reduce(
         self, key: Hashable, values: List[Tuple[str, Row]], context: ReduceContext
     ) -> None:
+        if isinstance(values, ColumnValues):
+            reduce_columns(self, key, values, context)
+            return
+        self._reduce_pairs(key, values, context.emit, context.counters)
+
+    def _reduce_pairs(self, key, values, emit, counters) -> None:
+        """The join body, shared by both data planes: ``values`` is any
+        iterable of ``(relation, row)`` pairs where ``row`` answers
+        ``interval(attribute)`` (real rows, or columnar proxies)."""
         partition = int(key)
         rows_by_relation: Dict[str, List[Row]] = defaultdict(list)
         for relation, row in values:
@@ -180,7 +241,7 @@ class JoinReducer(Reducer):
             old_rows[name] = [r for r in rows if not is_local(name, r)]
 
         def count(n: int) -> None:
-            context.counters.increment("work", "comparisons", n)
+            counters.increment("work", "comparisons", n)
 
         names = list(self.query.relations)
         for k, anchor in enumerate(names):
@@ -200,7 +261,25 @@ class JoinReducer(Reducer):
             # task's comparisons to another's counters.
             joiner = LocalJoiner(self.query, count, start_with=anchor)
             for tuple_rows in joiner.join(candidates):
-                context.emit(tuple_rows)
+                emit(tuple_rows)
+
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        # Columnar proxies answer ``interval()`` with the routing
+        # interval regardless of attribute name, which is only sound
+        # when every relation joins on a single attribute.
+        return self.query.is_single_attribute
+
+    def columnar_outputs(self, key, values: ColumnValues, counters):
+        outputs: List[Tuple] = []
+        self._reduce_pairs(
+            key, values.tagged_proxies(), outputs.append, counters
+        )
+        for tuple_rows in outputs:
+            yield tuple(proxy.gid for proxy in tuple_rows)
+
+    def materialize_output(self, out, store):
+        return tuple(store.value(gid)[1] for gid in out)
 
 
 class RCCIS(JoinAlgorithm):
@@ -224,6 +303,7 @@ class RCCIS(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if query.query_class is not QueryClass.COLOCATION:
             raise PlanningError(
@@ -235,6 +315,7 @@ class RCCIS(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -32,6 +32,8 @@ __all__ = ["TwoWayJoin", "OperatorMapper"]
 class OperatorMapper(Mapper):
     """Applies one of the Section-3 primitives to one relation."""
 
+    columnar_key_kind = "int"
+
     def __init__(
         self,
         relation: str,
@@ -60,6 +62,32 @@ class OperatorMapper(Mapper):
         for index in targets:
             context.emit(index, (self.relation, record))
 
+    # -- columnar protocol (see repro.mapreduce.task) -------------------
+    def columnar_ready(self) -> bool:
+        return True
+
+    def encode_intervals(self, records):
+        import numpy as np
+
+        starts = np.empty(len(records), dtype=np.float64)
+        ends = np.empty(len(records), dtype=np.float64)
+        for i, record in enumerate(records):
+            interval = record.interval(self.attribute)
+            starts[i] = interval.start
+            ends[i] = interval.end
+        return starts, ends
+
+    def map_columns(self, starts, ends, records):
+        from repro.columnar.batch import MapBlock, operator_map_columns
+
+        key_codes, row_idx, counters = operator_map_columns(
+            self.partitioning, self.operator, starts, ends
+        )
+        return MapBlock.single_tag(key_codes, row_idx, self.relation, counters)
+
+    def value_of(self, record: Row):
+        return (self.relation, record)
+
 
 class TwoWayJoin(JoinAlgorithm):
     """Single-condition interval join via the Figure-1 operator table."""
@@ -82,6 +110,7 @@ class TwoWayJoin(JoinAlgorithm):
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> JoinResult:
         if len(query.conditions) != 1 or len(query.relations) != 2:
             raise PlanningError(
@@ -93,6 +122,7 @@ class TwoWayJoin(JoinAlgorithm):
             partitioning, partition_strategy,
             observer=observer, cost_model=cost_model, workers=workers,
             faults=faults, max_attempts=max_attempts, speculative=speculative,
+            data_plane=data_plane,
         )
         attributes = {
             name: query.attributes_of(name)[0] for name in query.relations

@@ -49,6 +49,7 @@ def execute(
     faults=None,
     max_attempts: Optional[int] = None,
     speculative: Optional[bool] = None,
+    data_plane: Optional[str] = None,
 ) -> JoinResult:
     """Plan and run an interval join query.
 
@@ -81,6 +82,11 @@ def execute(
         ``REPRO_SPECULATIVE``.  Any plan within the retry budget leaves
         tuples and counters (modulo the ``faults`` group) bit-identical
         to a fault-free run.
+    data_plane:
+        ``"records"`` or ``"columnar"``; ``None`` defers to
+        ``REPRO_DATA_PLANE``.  The columnar plane runs protocol-aware
+        jobs on struct-of-arrays batches with bit-identical results;
+        unsupported jobs fall back to the records plane per job.
 
     Other keyword arguments are forwarded to the algorithm; see
     :meth:`~repro.core.algorithms.base.JoinAlgorithm.run`.
@@ -127,6 +133,7 @@ def execute(
             faults=faults,
             max_attempts=max_attempts,
             speculative=speculative,
+            data_plane=data_plane,
         )
 
     if observer is None:

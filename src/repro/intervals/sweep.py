@@ -51,11 +51,30 @@ from repro.intervals.interval import Interval
 __all__ = [
     "intersecting_pairs",
     "before_pairs",
+    "column_items",
     "join_pairs",
     "KERNELS",
     "register_kernel",
     "kernel_for",
 ]
+
+
+def column_items(starts, ends, payloads) -> List[Tuple[Interval, int]]:
+    """Sweep items from endpoint columns: ``(Interval, payload)`` pairs
+    in column order.
+
+    The columnar data plane's reducers call the kernels with payload
+    *ids* instead of row objects — every kernel orders items only by
+    ``item[0].start`` / ``item[0].end`` (stably), so enumeration over
+    ``(Interval, gid)`` items is pair-for-pair identical to the records
+    plane's ``(Interval, row)`` items.
+    """
+    return [
+        (Interval(start, end), payload)
+        for start, end, payload in zip(
+            starts.tolist(), ends.tolist(), payloads.tolist()
+        )
+    ]
 
 L = TypeVar("L")
 R = TypeVar("R")

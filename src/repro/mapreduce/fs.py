@@ -22,6 +22,16 @@ failed and speculative attempts are discarded without ever becoming
 visible.  Mirroring Hadoop's hidden-file convention, path components
 starting with ``_`` are invisible to :meth:`FileSystem.read_dir`, so a
 reader of the output directory can never observe uncommitted data.
+
+The file system is the data plane's record boundary: on the columnar
+plane (``REPRO_DATA_PLANE=columnar``) map tasks still read their input
+records through :meth:`FileSystem.read_dir` and reduce outputs are still
+committed as materialised record lists — only the *intermediate* pair
+stream between map and reduce changes representation (struct-of-arrays
+columns and shared-memory blocks; see :mod:`repro.columnar` and
+``docs/data_plane.md``).  Persisted files are therefore byte-identical
+across planes, which is what lets a pipeline mix per-job plane fallbacks
+freely.
 """
 
 from __future__ import annotations

@@ -71,6 +71,7 @@ class Pipeline:
         faults=None,
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
+        data_plane: Optional[str] = None,
     ) -> None:
         self.fs = fs
         #: executor name, or None to defer to $REPRO_EXECUTOR / "serial".
@@ -87,6 +88,8 @@ class Pipeline:
         self.max_attempts = max_attempts
         #: speculative re-execution switch (None: $REPRO_SPECULATIVE).
         self.speculative = speculative
+        #: data plane ("records"/"columnar"; None: $REPRO_DATA_PLANE).
+        self.data_plane = data_plane
         self.result = PipelineResult()
 
     def run(self, conf: JobConf) -> JobResult:
@@ -101,6 +104,7 @@ class Pipeline:
             faults=self.faults,
             max_attempts=self.max_attempts,
             speculative=self.speculative,
+            data_plane=self.data_plane,
         )
         self.result.jobs.append(job_result)
         return job_result

@@ -22,7 +22,11 @@ executors are available:
 The executor may also be selected via the ``REPRO_EXECUTOR`` environment
 variable (an explicit ``executor=`` argument wins), and the worker count
 via ``REPRO_WORKERS`` — this is how CI runs the whole suite under the
-``processes`` backend.
+``processes`` backend.  Orthogonally, ``REPRO_DATA_PLANE=columnar`` (or
+``data_plane="columnar"``) moves protocol-aware jobs onto the columnar
+data plane — struct-of-arrays batches, an argsort shuffle and
+shared-memory reduce transport under ``processes`` — with bit-identical
+outputs and counters (see ``docs/data_plane.md``).
 
 Execution follows Hadoop's lifecycle: per-input map tasks (setup, map each
 record, cleanup), optional per-map-task combiner, sort-shuffle, reduce
@@ -81,6 +85,15 @@ from typing import (
     Tuple,
 )
 
+from repro.columnar.batch import (
+    ColumnarPairs,
+    MapBlock,
+    PayloadStore,
+    job_columnar_kind,
+)
+from repro.columnar.codec import KEY_CODECS, KeyCodec
+from repro.columnar.plane import resolve_data_plane
+from repro.columnar.shm import pack_reduce_task, unpack_reduce_task
 from repro.errors import FaultInjectedError, MapReduceError, WorkerPoolError
 from repro.faults import (
     CORRUPT,
@@ -92,7 +105,7 @@ from repro.faults import (
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
-from repro.mapreduce.shuffle import partition_stats, shuffle
+from repro.mapreduce.shuffle import columnar_shuffle, partition_stats, shuffle
 from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
 from repro.obs.metrics import GROUP_FAULTS, LOAD_BUCKETS
 from repro.obs.profile import run_profiled_task as _process_profiled_task
@@ -177,6 +190,17 @@ def _process_pool(workers: int) -> ProcessPoolExecutor:
     with _pools_lock:
         pool = _pools.get(workers)
         if pool is None:
+            # Start the multiprocessing resource tracker *before* the
+            # first worker is forked so every worker inherits it.  The
+            # columnar reduce path has workers attach SharedMemory
+            # blocks; with one shared tracker the attach-registrations
+            # collapse into the creator's entry and the parent's
+            # ``unlink()`` is the single clean removal.  A worker forked
+            # without a tracker would lazily spawn its own and report
+            # the parent's already-unlinked blocks as leaked at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
             pool = ProcessPoolExecutor(max_workers=workers)
             _pools[workers] = pool
         return pool
@@ -405,10 +429,10 @@ def _reduce_task_core(
 
 def _map_span_attrs(
     task_counters: Counters,
-    task_pairs: Sequence[Any],
+    num_pairs: int,
     cost_model: Optional["CostModel"],
 ) -> Dict[str, Any]:
-    attrs: Dict[str, Any] = {"output_pairs": len(task_pairs)}
+    attrs: Dict[str, Any] = {"output_pairs": num_pairs}
     if cost_model is not None:
         reads = task_counters.value("framework", "map_input_records")
         attrs["modelled_seconds"] = (
@@ -449,7 +473,7 @@ def _record_map_task_metrics(
     job: str,
     input_path: str,
     task_counters: Counters,
-    task_pairs: Sequence[Any],
+    num_pairs: int,
 ) -> None:
     """Per-map-task tuple in/out, labelled by input relation path.
 
@@ -466,7 +490,7 @@ def _record_map_task_metrics(
     )
     reads = task_counters.value("framework", "map_input_records")
     records.inc(reads, job=job, input=input_path, direction="in")
-    records.inc(len(task_pairs), job=job, input=input_path, direction="out")
+    records.inc(num_pairs, job=job, input=input_path, direction="out")
 
 
 def _record_reduce_task_metrics(
@@ -589,9 +613,11 @@ def _run_map_task_traced(
             spec.path, records, spec.mapper, combiner
         )
         span.counters = task_counters.delta({})
-        span.annotate(**_map_span_attrs(task_counters, task_pairs, cost_model))
+        span.annotate(
+            **_map_span_attrs(task_counters, len(task_pairs), cost_model)
+        )
         _record_map_task_metrics(
-            observer, job_name, spec.path, task_counters, task_pairs
+            observer, job_name, spec.path, task_counters, len(task_pairs)
         )
         return task_pairs, task_counters
 
@@ -714,10 +740,10 @@ def _run_map_tasks_processes(
                 job=conf.name,
                 phase="map",
                 task_index=index,
-                **_map_span_attrs(task_counters, task_pairs, cost_model),
+                **_map_span_attrs(task_counters, len(task_pairs), cost_model),
             )
             _record_map_task_metrics(
-                observer, conf.name, spec.path, task_counters, task_pairs
+                observer, conf.name, spec.path, task_counters, len(task_pairs)
             )
         results.append((task_pairs, task_counters))
     return results
@@ -830,6 +856,187 @@ def _run_map_phase(
         if observer is not None and phase_span is not None:
             observer.end_span(phase_span)
     return pairs
+
+
+# ----------------------------------------------------------------------
+# Columnar data plane (REPRO_DATA_PLANE=columnar; see docs/data_plane.md).
+# The map phase runs inline on the parent under every executor — it is a
+# handful of vectorised numpy passes per input, so the records plane's
+# per-task pickling would cost more than it saves — while the reduce
+# phase keeps each executor's dispatch, with the ``processes`` backend
+# shipping column blocks through shared memory instead of pickles.
+# ----------------------------------------------------------------------
+
+def _columnar_map_task(
+    path: str, records: Sequence[Any], mapper: Mapper
+) -> Tuple[MapBlock, Counters, Any, Any]:
+    """Run one map task on the columnar plane.
+
+    Returns the emitted block, the task counters and the per-record
+    routing-interval columns.  Counter parity with :func:`_map_task_core`
+    is deliberate: ``map_input_records`` appears only when the input is
+    non-empty (the records plane increments per record), user counters
+    come from the block (non-zero amounts only), ``map_output_records``
+    is always recorded.
+    """
+    counters = Counters()
+    context = MapContext(counters, path)
+    mapper.setup(context)
+    if records:
+        counters.increment("framework", "map_input_records", len(records))
+    starts, ends = mapper.encode_intervals(records)
+    block = mapper.map_columns(starts, ends, records)
+    mapper.cleanup(context)
+    if context.drain():
+        raise MapReduceError(
+            f"columnar mapper {type(mapper).__name__} emitted records "
+            "through the context; columnar emission must go through "
+            "map_columns"
+        )
+    for (group, name), amount in block.counters.items():
+        counters.increment(group, name, amount)
+    counters.increment("framework", "map_output_records", len(block))
+    return block, counters, starts, ends
+
+
+def _run_map_phase_columnar(
+    fs: FileSystem,
+    conf: JobConf,
+    counters: Counters,
+    observer: Optional["TraceRecorder"],
+    cost_model: Optional["CostModel"],
+    codec: KeyCodec,
+    store: PayloadStore,
+) -> ColumnarPairs:
+    """Run all map tasks on the columnar plane (inline, every executor).
+
+    Input records are retained in the job's payload store — the batch
+    carries only payload ids, and values materialise lazily wherever the
+    framework (or a reducer) actually needs the records-plane objects.
+    """
+    pairs = ColumnarPairs(codec)
+
+    def run_task(index: int, spec: InputSpec) -> Tuple[int, Counters]:
+        records = list(fs.read_dir(spec.path))
+        block, task_counters, starts, ends = _columnar_map_task(
+            spec.path, records, spec.mapper
+        )
+        store.add_segment(index, records, spec.mapper)
+        pairs.append_block(block, index, starts, ends)
+        return len(block), task_counters
+
+    if observer is None:
+        for index, spec in enumerate(conf.inputs):
+            _, task_counters = run_task(index, spec)
+            counters.merge(task_counters)
+        return pairs
+    with observer.span("map", kind="phase", job=conf.name) as phase_span:
+        for index, spec in enumerate(conf.inputs):
+            with observer.span(
+                f"map:{spec.path}",
+                kind="task",
+                parent=phase_span,
+                job=conf.name,
+                phase="map",
+                task_index=index,
+            ) as span:
+                num_pairs, task_counters = run_task(index, spec)
+                span.counters = task_counters.delta({})
+                span.annotate(
+                    **_map_span_attrs(task_counters, num_pairs, cost_model)
+                )
+                _record_map_task_metrics(
+                    observer, conf.name, spec.path, task_counters, num_pairs
+                )
+            counters.merge(task_counters)
+    return pairs
+
+
+def _process_columnar_reduce_task(
+    payload: Tuple[Reducer, int, Any],
+) -> Tuple[List[Any], Dict[str, Dict[str, int]], float]:
+    """Worker entry for one shared-memory columnar reduce task.
+
+    The reducer sees store-less :class:`ColumnValues` groups and emits
+    compact gid-shaped outputs; the parent materialises them.  Every
+    array view into the block must be dropped before ``close()``.
+    """
+    reducer, task_index, task = payload
+    started = time.perf_counter()
+    groups, shm = unpack_reduce_task(task)
+    try:
+        output, task_counters = _reduce_task_core(reducer, task_index, groups)
+    finally:
+        del groups
+        if shm is not None:
+            shm.close()
+    return output, task_counters.as_dict(), time.perf_counter() - started
+
+
+def _run_reduce_tasks_processes_columnar(
+    conf: JobConf,
+    tasks: Sequence[List[Tuple[Hashable, Any]]],
+    observer: Optional["TraceRecorder"],
+    phase_span: Optional["Span"],
+    cost_model: Optional["CostModel"],
+    workers: int,
+    store: PayloadStore,
+) -> List[Tuple[List[Any], Counters]]:
+    """The ``processes`` reduce phase on the columnar plane.
+
+    Each non-empty task's group columns travel in one shared-memory
+    block (created, and always unlinked, by the parent); the pickled
+    payload shrinks to the reducer plus a small descriptor.  Workers
+    return gid-shaped outputs, which the parent materialises through the
+    payload store before recording spans and metrics — so the recorded
+    task facts describe the final records, exactly as on the records
+    plane.
+    """
+    profiler = _profiler_of(observer)
+    packed = [pack_reduce_task(groups) for groups in tasks]
+    try:
+        if profiler is not None:
+            profiler.record_shm_bytes(
+                conf.name, "reduce", "request",
+                sum(descriptor.nbytes for descriptor, _ in packed),
+            )
+        payloads = [
+            (conf.reducer, index, descriptor)
+            for index, (descriptor, _) in enumerate(packed)
+        ]
+        shipped = _pool_map(
+            _process_columnar_reduce_task, payloads, workers,
+            conf.name, "reduce", range(len(payloads)),
+            profiler=profiler,
+        )
+    finally:
+        for _, shm in packed:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+    results = []
+    for index, (gid_output, counter_dict, elapsed) in enumerate(shipped):
+        output = [
+            conf.reducer.materialize_output(out, store) for out in gid_output
+        ]
+        task_counters = Counters.from_dict(counter_dict)
+        if observer is not None:
+            observer.record_completed(
+                f"reduce[{index}]",
+                kind="task",
+                parent=phase_span,
+                duration=elapsed,
+                counters=task_counters.snapshot(),
+                job=conf.name,
+                phase="reduce",
+                task_index=index,
+                **_reduce_span_attrs(task_counters, output, cost_model),
+            )
+            _record_reduce_task_metrics(
+                observer, conf.name, task_counters, output
+            )
+        results.append((output, task_counters))
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -1079,10 +1286,12 @@ def _run_map_phase_faulted(
                 executor=executor,
                 observer=observer,
                 parent=phase_span,
-                attrs_fn=lambda c, r: _map_span_attrs(c, r, cost_model),
+                attrs_fn=lambda c, r: _map_span_attrs(c, len(r), cost_model),
                 counters_view=lambda c: c.delta({}),
                 metrics_fn=lambda c, r, path=spec.path: (
-                    _record_map_task_metrics(observer, conf.name, path, c, r)
+                    _record_map_task_metrics(
+                        observer, conf.name, path, c, len(r)
+                    )
                 ),
             )
 
@@ -1233,6 +1442,7 @@ def run_job(
     faults: Any = None,
     max_attempts: Optional[int] = None,
     speculative: Optional[bool] = None,
+    data_plane: Optional[str] = None,
 ) -> JobResult:
     """Execute one MapReduce job and return its measurements.
 
@@ -1269,9 +1479,17 @@ def run_job(
         Speculative re-execution of plan-delayed stragglers;
         ``JobConf.speculative`` beats this, this beats
         ``$REPRO_SPECULATIVE``.
+    data_plane:
+        ``"records"`` (the default) or ``"columnar"``; ``None`` defers to
+        ``$REPRO_DATA_PLANE``.  The columnar plane engages per job, only
+        when every mapper and the reducer implement the columnar
+        protocol, no combiner is configured and no fault machinery is
+        active — otherwise the job silently runs on the records plane.
+        Both planes produce bit-identical outputs and counters.
     """
     executor = resolve_executor(executor)
     workers = resolve_workers(workers)
+    plane = resolve_data_plane(data_plane)
     fctx = resolve_faults(
         faults,
         conf.max_attempts if conf.max_attempts is not None else max_attempts,
@@ -1289,9 +1507,18 @@ def run_job(
     fs.metrics = observer.metrics if observer is not None else None
     fs.profiler = _profiler_of(observer)
 
+    columnar_kind = (
+        job_columnar_kind(conf)
+        if plane == "columnar" and not fctx.active and conf.combiner is None
+        else None
+    )
+    store = PayloadStore() if columnar_kind is not None else None
+
     job_attrs: Dict[str, Any] = {}
     if fctx.active:
         job_attrs["max_attempts"] = fctx.max_attempts
+    if columnar_kind is not None:
+        job_attrs["data_plane"] = "columnar"
     job_span = (
         observer.start_span(
             f"job:{conf.name}",
@@ -1310,23 +1537,41 @@ def run_job(
                 fs, conf, counters, observer, cost_model, executor, workers,
                 fctx,
             )
+        elif columnar_kind is not None:
+            pairs = _run_map_phase_columnar(
+                fs, conf, counters, observer, cost_model,
+                KEY_CODECS[columnar_kind], store,
+            )
         else:
             pairs = _run_map_phase(
                 fs, conf, counters, observer, cost_model, executor, workers
             )
         counters.increment("framework", "shuffle_records", len(pairs))
 
-        logical_loads: Dict[Hashable, int] = defaultdict(int)
-        for key, _ in pairs:
-            logical_loads[key] += 1
+        if columnar_kind is not None:
+            logical_loads: Dict[Hashable, int] = pairs.logical_loads()
+        else:
+            logical_loads = defaultdict(int)
+            for key, _ in pairs:
+                logical_loads[key] += 1
+
+        def run_shuffle(profiler=None, job=""):
+            if columnar_kind is not None:
+                return columnar_shuffle(
+                    pairs, conf.num_reduce_tasks, conf.partitioner,
+                    store=store, profiler=profiler, job=job,
+                )
+            return shuffle(
+                pairs, conf.num_reduce_tasks, conf.partitioner,
+                profiler=profiler, job=job,
+            )
 
         if observer is not None:
             with observer.span(
                 "shuffle", kind="phase", job=conf.name
             ) as shuffle_span:
-                tasks = shuffle(
-                    pairs, conf.num_reduce_tasks, conf.partitioner,
-                    profiler=_profiler_of(observer), job=conf.name,
+                tasks = run_shuffle(
+                    profiler=_profiler_of(observer), job=conf.name
                 )
                 shuffle_span.annotate(
                     records=len(pairs), reduce_tasks=conf.num_reduce_tasks
@@ -1338,7 +1583,7 @@ def run_job(
                         / cost_model.parallelism
                     )
         else:
-            tasks = shuffle(pairs, conf.num_reduce_tasks, conf.partitioner)
+            tasks = run_shuffle()
         reduce_task_loads = [
             sum(len(values) for _, values in groups) for groups in tasks
         ]
@@ -1381,6 +1626,11 @@ def run_job(
                         for index, groups in enumerate(tasks)
                     ]
                     results = [future.result() for future in futures]
+            elif columnar_kind is not None:
+                results = _run_reduce_tasks_processes_columnar(
+                    conf, tasks, observer, reduce_span, cost_model, workers,
+                    store,
+                )
             else:
                 results = _run_reduce_tasks_processes(
                     conf, tasks, observer, reduce_span, cost_model, workers

@@ -52,6 +52,7 @@ __all__ = [
     "PartitionStat",
     "stable_hash",
     "shuffle",
+    "columnar_shuffle",
     "partition_stats",
 ]
 
@@ -165,6 +166,103 @@ def shuffle(
                 f"partitioner routed key {key!r} to invalid task {index}"
             )
         tasks[index].append((key, grouped[key]))
+        if key_bytes is not None:
+            key_bytes[index] += len(key_repr.encode("utf-8"))
+    if profiler is not None and key_bytes is not None:
+        profiler.record_partition_key_bytes(job, key_bytes)
+    return tasks
+
+
+def columnar_shuffle(
+    pairs,  # ColumnarPairs
+    num_tasks: int,
+    partitioner: Partitioner,
+    store=None,
+    profiler: Optional["Profiler"] = None,
+    job: str = "",
+) -> List[List[Tuple[Hashable, Any]]]:
+    """The columnar plane's sort-shuffle: one stable argsort, no
+    per-pair Python objects.
+
+    Grouping runs over the int64 key-code column — a stable
+    ``np.argsort`` clusters equal keys while preserving emission order
+    within each key, and ``np.unique`` finds the distinct codes and
+    group boundaries in the same pass.  Only the *distinct* keys are
+    decoded to native Python values and repr-sorted, so routing (and the
+    :class:`~repro.obs.profile.Profiler`'s shuffle-sort / key-byte
+    accounting) is bit-identical to :func:`shuffle` while the per-pair
+    work drops from a dict insert + list append to a vectorised gather.
+
+    Returns the same shape :func:`shuffle` returns — per-task lists of
+    ``(key, values)`` groups in key-repr order — except each ``values``
+    is a :class:`~repro.columnar.batch.ColumnValues` column slice.
+    """
+    import numpy as np
+
+    from repro.columnar.batch import ColumnValues
+
+    key_codes, gids, starts, ends, tag_codes = pairs.columns()
+    tags = pairs.tags
+    started = time.perf_counter() if profiler is not None else 0.0
+    # Grouping only needs *an* order over the codes, not the codes
+    # themselves: when the codec can recode the live range into 16 bits
+    # (monotone, see KeyCodec.compact_codes) the stable sort becomes a
+    # radix sort, several times faster than comparison-sorting int64.
+    compact = pairs.codec.compact_codes(key_codes)
+    order = np.argsort(
+        key_codes if compact is None else compact, kind="stable"
+    )
+    sorted_codes = key_codes[order]
+    # sorted_codes is ascending (compact recodings are monotone), so the
+    # group boundaries are a neighbour-difference scan — cheaper than
+    # np.unique, which would sort again.
+    if len(sorted_codes):
+        changed = np.empty(len(sorted_codes), dtype=bool)
+        changed[0] = True
+        np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=changed[1:])
+        first_index = np.flatnonzero(changed)
+    else:
+        first_index = np.empty(0, dtype=np.int64)
+    distinct = sorted_codes[first_index]
+    boundaries = np.append(first_index, len(sorted_codes))
+    keys = [pairs.codec.decode(int(code)) for code in distinct]
+    slices = {
+        repr(key): slice(int(boundaries[i]), int(boundaries[i + 1]))
+        for i, key in enumerate(keys)
+    }
+    ordered = _sorted_by_repr(keys)
+    partitioner.prepare_sorted(ordered)
+    if profiler is not None:
+        profiler.record_shuffle_sort(
+            job, time.perf_counter() - started, len(ordered)
+        )
+    sorted_gids = gids[order]
+    sorted_starts = starts[order]
+    sorted_ends = ends[order]
+    sorted_tag_codes = tag_codes[order]
+    tasks: List[List[Tuple[Hashable, Any]]] = [[] for _ in range(num_tasks)]
+    key_bytes = [0] * num_tasks if profiler is not None else None
+    for key_repr, key in ordered:
+        index = partitioner.partition(key, num_tasks)
+        if not 0 <= index < num_tasks:
+            raise ValueError(
+                f"partitioner routed key {key!r} to invalid task {index}"
+            )
+        sl = slices[key_repr]
+        tasks[index].append(
+            (
+                key,
+                ColumnValues(
+                    key,
+                    sorted_gids[sl],
+                    sorted_starts[sl],
+                    sorted_ends[sl],
+                    sorted_tag_codes[sl],
+                    tags,
+                    store,
+                ),
+            )
+        )
         if key_bytes is not None:
             key_bytes[index] += len(key_repr.encode("utf-8"))
     if profiler is not None and key_bytes is not None:

@@ -10,6 +10,43 @@ Contexts carry the emit channel plus :class:`~repro.mapreduce.counters.Counters`
 so user code (the paper's algorithms) can record domain-specific
 measurements — replicated-interval counts, predicate comparisons — that the
 cost model and evaluation tables consume.
+
+Columnar protocol (optional, duck-typed)
+----------------------------------------
+
+A mapper/reducer pair may additionally opt into the columnar data plane
+(``REPRO_DATA_PLANE=columnar``, see ``docs/data_plane.md``).  The runner
+probes for these attributes per job — when any participant lacks them or
+reports itself not ready, the job silently falls back to the records
+plane, so the protocol is strictly additive.
+
+Mapper side::
+
+    columnar_key_kind: str            # "int" | "cell" — codec in
+                                      # repro.columnar.codec.KEY_CODECS
+    def columnar_ready(self) -> bool  # dynamic gate (e.g. operator support)
+    def encode_intervals(self, records) -> (starts, ends)
+                                      # float64 columns, one row per record
+    def map_columns(self, starts, ends, records) -> MapBlock
+                                      # vectorised map(): encoded target
+                                      # keys + row indices (+ tag codes and
+                                      # *non-zero* counter amounts only)
+    def value_of(self, record) -> Any # the exact shuffle value map() would
+                                      # emit — used for lazy materialisation
+
+Reducer side::
+
+    def columnar_ready(self) -> bool
+    def columnar_outputs(self, key, values, counters)
+                                      # values is a ColumnValues group;
+                                      # yields compact gid-shaped outputs
+    def materialize_output(self, out, store) -> Any
+                                      # rebuild the records-plane output
+                                      # record from one gid-shaped output
+
+The contract is bit-parity: for every input, the columnar path must
+produce the same outputs, the same counters and the same logical loads
+as the records path (``tests/integration/test_columnar_parity.py``).
 """
 
 from __future__ import annotations

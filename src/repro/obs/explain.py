@@ -316,6 +316,7 @@ class PlanExplain:
     kernels: Tuple[Tuple[str, str], ...]
     prediction: Optional["PlanPrediction"]
     prediction_error: Optional[str]
+    data_plane: str = "records"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -329,6 +330,7 @@ class PlanExplain:
             "alternatives": [list(alt) for alt in self.alternatives],
             "num_partitions": self.num_partitions,
             "partitioner": self.partitioner,
+            "data_plane": self.data_plane,
             "kernels": [list(pair) for pair in self.kernels],
             "prediction": (
                 self.prediction.as_dict() if self.prediction else None
@@ -356,6 +358,13 @@ class PlanExplain:
             for name, why in self.alternatives:
                 lines.append(f"    - {name}: {why}")
         lines.append(f"  partitioner: {self.partitioner}")
+        if self.data_plane == "columnar":
+            lines.append(
+                "  data plane:  columnar (struct-of-arrays shuffle; "
+                "unsupported jobs fall back to records per job)"
+            )
+        else:
+            lines.append("  data plane:  records (tuple-at-a-time)")
         if self.kernels:
             lines.append("  kernels:")
             for condition, kernel in self.kernels:
@@ -406,6 +415,7 @@ def explain_query(
     prune: bool = False,
     cost_model: Optional["CostModel"] = None,
     exact: bool = False,
+    data_plane: Optional[str] = None,
 ) -> PlanExplain:
     """Build the pre-run EXPLAIN for a query.
 
@@ -414,14 +424,18 @@ def explain_query(
     ``exact=True``); without it the plan rationale still renders but the
     prediction section reports itself unavailable.  ``algorithm``
     overrides the planner exactly as :func:`repro.core.executor.execute`
-    does.
+    does, and ``data_plane`` resolves exactly as at run time (explicit
+    argument, then ``$REPRO_DATA_PLANE``, then ``"records"``) so the
+    EXPLAIN shows the plane the run would use.
     """
+    from repro.columnar.plane import resolve_data_plane
     from repro.core.planner import ALGORITHMS, plan, plan_alternatives
     from repro.core.tuning import PredictConfig, profile_data
     from repro.errors import PlanningError
     from repro.intervals.sweep import kernel_for
     from repro.mapreduce.cost import DEFAULT_COST_MODEL
 
+    plane = resolve_data_plane(data_plane)
     chosen = plan(query, prune=prune)
     if chosen.provably_empty:
         return PlanExplain(
@@ -438,6 +452,7 @@ def explain_query(
             kernels=(),
             prediction=None,
             prediction_error=None,
+            data_plane=plane,
         )
 
     if algorithm is None:
@@ -514,6 +529,7 @@ def explain_query(
         kernels=tuple(kernels),
         prediction=prediction,
         prediction_error=prediction_error,
+        data_plane=plane,
     )
 
 

@@ -518,6 +518,21 @@ class Profiler:
             nbytes, job=job, phase=phase, direction=direction
         )
 
+    def record_shm_bytes(
+        self, job: str, phase: str, direction: str, nbytes: int
+    ) -> None:
+        """Charge bytes transported through shared-memory blocks at the
+        columnar plane's process boundary (these bytes are *not* pickled
+        — the pickle families shrink to descriptors when shm carries the
+        data, which is the collapse this family makes visible)."""
+        self.registry.counter(
+            "repro_profile_shm_bytes_total",
+            "Column bytes shipped via multiprocessing.shared_memory "
+            "blocks instead of pickles (columnar data plane).",
+            labels=("job", "phase", "direction"),
+            group=GROUP_PROFILE,
+        ).inc(nbytes, job=job, phase=phase, direction=direction)
+
     def record_shuffle_sort(self, job: str, seconds: float, keys: int) -> None:
         """Charge the shuffle's repr-sort: wall seconds and keys sorted."""
         self.registry.counter(
@@ -899,6 +914,18 @@ def data_plane_summary(registry: MetricsRegistry) -> str:
                 keys = int(keys_metric.value(job=job))
             lines.append(
                 f"  shuffle repr-sort: {seconds:.3f}s over {keys} keys"
+            )
+        shm_total = sum(
+            value
+            for (j, _phase, _direction), value in _samples_of(
+                registry, "repro_profile_shm_bytes_total"
+            )
+            if j == job
+        )
+        if shm_total:
+            lines.append(
+                f"  shm transport: {_fmt_bytes(shm_total)} via shared "
+                "memory (columnar plane)"
             )
     staged = registry.get("repro_profile_fs_staged_bytes_total")
     if staged is not None:

@@ -1,0 +1,76 @@
+"""Shared-memory reduce-task transport: pack/unpack round-trips and
+segment ownership."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.batch import ColumnValues
+from repro.columnar.shm import pack_reduce_task, unpack_reduce_task
+
+
+def _group(key, gids, starts, ends, tag_codes, tags):
+    return ColumnValues(
+        key=key,
+        gids=np.asarray(gids, dtype=np.int64),
+        starts=np.asarray(starts, dtype=np.float64),
+        ends=np.asarray(ends, dtype=np.float64),
+        tag_codes=np.asarray(tag_codes, dtype=np.int16),
+        tags=tags,
+        store=None,
+    )
+
+
+def _sample_groups():
+    tags = ("left", "right")
+    return [
+        (7, _group(7, [3, 1], [1.5, 2.5], [2.0, 3.0], [0, 1], tags)),
+        ((0, 1), _group((0, 1), [9], [4.0], [5.0], [0], tags)),
+    ]
+
+
+class TestRoundtrip:
+    def test_groups_survive_pack_unpack(self):
+        groups = _sample_groups()
+        task, shm = pack_reduce_task(groups)
+        assert shm is not None
+        try:
+            restored, attached = unpack_reduce_task(task)
+            assert attached is not None
+            try:
+                assert [key for key, _ in restored] == [
+                    key for key, _ in groups
+                ]
+                for (_, out), (_, src) in zip(restored, groups):
+                    assert out.gids.tolist() == src.gids.tolist()
+                    assert out.starts.tolist() == src.starts.tolist()
+                    assert out.ends.tolist() == src.ends.tolist()
+                    assert out.tag_codes.tolist() == src.tag_codes.tolist()
+                    assert out.tags == src.tags
+                # Views alias the segment; drop them before close().
+                del restored, out, src
+            finally:
+                attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_task_metadata(self):
+        groups = _sample_groups()
+        task, shm = pack_reduce_task(groups)
+        try:
+            assert task.total_rows == 3
+            assert task.keys == [7, (0, 1)]
+            assert task.lengths == [2, 1]
+            assert task.nbytes == 3 * 26
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_task_needs_no_segment(self):
+        task, shm = pack_reduce_task([])
+        assert shm is None
+        restored, attached = unpack_reduce_task(task)
+        assert restored == []
+        assert attached is None
+        assert task.nbytes == 0

@@ -1,0 +1,98 @@
+"""``columnar_shuffle`` must mirror ``shuffle`` structurally — same task
+routing, same per-task key order, groups carrying the same gids — on both
+the compact int16 radix path and the int64 comparison-sort fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnar.batch import ColumnarPairs, MapBlock
+from repro.columnar.codec import KEY_CODECS, CellKeyCodec
+from repro.mapreduce.shuffle import (
+    RoundRobinKeyPartitioner,
+    columnar_shuffle,
+    shuffle,
+)
+
+NUM_TASKS = 4
+
+
+def _int_stream(n, seed, *, wide=False):
+    """Matching (records pairs, columnar batch) streams with int keys.
+
+    ``wide=True`` plants a code beyond the int16 window so
+    ``compact_codes`` refuses and the int64 argsort fallback runs.
+    """
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 9, size=n).astype(np.int64)
+    if wide:
+        codes[0] = 2**20
+    row_idx = np.arange(n, dtype=np.int64)
+    starts = rng.uniform(0.0, 100.0, size=n)
+    ends = starts + 1.0
+    batch = ColumnarPairs(KEY_CODECS["int"])
+    batch.append_block(
+        MapBlock.single_tag(codes, row_idx, "R1"), 0, starts, ends
+    )
+    pairs = list(zip(codes.tolist(), row_idx.tolist()))
+    return pairs, batch
+
+
+def _cell_stream(n, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 5, size=n)
+    cols = rng.integers(0, 5, size=n)
+    codes = np.asarray(
+        [CellKeyCodec.encode_cell(c) for c in zip(rows, cols)],
+        dtype=np.int64,
+    )
+    row_idx = np.arange(n, dtype=np.int64)
+    starts = rng.uniform(0.0, 100.0, size=n)
+    ends = starts + 1.0
+    batch = ColumnarPairs(KEY_CODECS["cell"])
+    batch.append_block(
+        MapBlock.single_tag(codes, row_idx, "R1"), 0, starts, ends
+    )
+    pairs = [
+        ((int(i), int(j)), int(r)) for i, j, r in zip(rows, cols, row_idx)
+    ]
+    return pairs, batch
+
+
+def _assert_same_structure(pairs, batch):
+    partitioner = RoundRobinKeyPartitioner()
+    records_tasks = shuffle(pairs, NUM_TASKS, partitioner)
+    columnar_tasks = columnar_shuffle(batch, NUM_TASKS, partitioner)
+    assert len(columnar_tasks) == len(records_tasks) == NUM_TASKS
+    for records_task, columnar_task in zip(records_tasks, columnar_tasks):
+        assert [key for key, _ in columnar_task] == [
+            key for key, _ in records_task
+        ]
+        for (_, records_values), (_, group) in zip(
+            records_task, columnar_task
+        ):
+            assert group.gids.tolist() == list(records_values)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_int_keys_compact_path(seed):
+    pairs, batch = _int_stream(120, seed)
+    assert batch.codec.compact_codes(batch.columns()[0]) is not None
+    _assert_same_structure(pairs, batch)
+
+
+def test_int_keys_wide_fallback_path(seed=2):
+    pairs, batch = _int_stream(120, seed, wide=True)
+    assert batch.codec.compact_codes(batch.columns()[0]) is None
+    _assert_same_structure(pairs, batch)
+
+
+def test_cell_keys(seed=3):
+    pairs, batch = _cell_stream(150, seed)
+    _assert_same_structure(pairs, batch)
+
+
+def test_empty_batch():
+    pairs, batch = _int_stream(0, seed=0)
+    _assert_same_structure(pairs, batch)

@@ -1,0 +1,227 @@
+"""Cross-plane parity: the columnar data plane must equal the records
+plane bit-for-bit.
+
+``REPRO_DATA_PLANE=columnar`` swaps the intermediate pair stream from
+tuple-at-a-time records to struct-of-arrays columns (argsort shuffle,
+shared-memory reduce transport under ``processes``) — and nothing else.
+These tests pin the contract for every columnar-capable algorithm on
+every executor:
+
+* identical output tuples,
+* identical per-job counters, reduce-task loads and part files,
+* identical deterministic metrics fingerprint,
+* identical trace span set,
+
+plus the gating behaviour around it: non-columnar jobs fall back to the
+records plane silently, fault injection forces the fallback (chaos runs
+stay bit-identical), and profiling the columnar plane is passive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.obs import TraceRecorder
+
+from tests.conftest import make_dataset
+from tests.integration.test_fault_parity import pinned_plan
+
+EXECUTORS = ("serial", "threads", "processes")
+
+COLOCATION = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+)
+SEQUENCE = IntervalJoinQuery.parse(
+    [("R1", "before", "R2"), ("R2", "before", "R3")]
+)
+
+#: The columnar-capable algorithm surface: the two-way overlap join (int
+#: partition keys), RCCIS (int keys, three relations) and the cascade in
+#: both its key families — colocation steps route on partition indices,
+#: sequence steps on 2-D grid cells.
+CASES = [
+    ("two_way", IntervalJoinQuery.parse([("R1", "overlaps", "R2")]),
+     ("R1", "R2")),
+    ("rccis", COLOCATION, ("R1", "R2", "R3")),
+    ("two_way_cascade", COLOCATION, ("R1", "R2", "R3")),
+    ("two_way_cascade", SEQUENCE, ("R1", "R2", "R3")),
+]
+
+CASE_IDS = ["two_way", "rccis", "cascade_colocation", "cascade_sequence"]
+
+
+def _run(algorithm, query, data, executor, data_plane, **kwargs):
+    recorder = TraceRecorder(profile=kwargs.pop("profile", False))
+    result = execute(
+        query,
+        data,
+        algorithm=algorithm,
+        num_partitions=5,
+        executor=executor,
+        workers=2,
+        observer=recorder,
+        data_plane=data_plane,
+        **kwargs,
+    )
+    recorder.close()
+    return result, recorder
+
+
+def _span_profile(recorder):
+    return sorted(
+        (
+            span.kind,
+            span.name,
+            span.attributes.get("job"),
+            span.attributes.get("task_index"),
+        )
+        for span in recorder.spans
+    )
+
+
+def _metrics_facts(result):
+    """Every deterministic ExecutionMetrics field."""
+    facts = dataclasses.asdict(result.metrics)
+    facts.pop("simulated_seconds")  # host wall clock
+    return facts
+
+
+def _assert_cross_plane_parity(records_pack, columnar_pack):
+    records_result, records_rec = records_pack
+    columnar_result, columnar_rec = columnar_pack
+
+    assert columnar_result.tuple_ids() == records_result.tuple_ids()
+    assert len(records_result) > 0
+
+    assert _metrics_facts(columnar_result) == _metrics_facts(records_result)
+
+    assert len(columnar_rec.job_results) == len(records_rec.job_results)
+    for columnar_job, records_job in zip(
+        columnar_rec.job_results, records_rec.job_results
+    ):
+        assert columnar_job.name == records_job.name
+        assert (
+            columnar_job.counters.as_dict() == records_job.counters.as_dict()
+        )
+        assert (
+            columnar_job.reduce_task_loads == records_job.reduce_task_loads
+        )
+        assert (
+            columnar_job.reduce_task_outputs
+            == records_job.reduce_task_outputs
+        )
+
+    assert (
+        columnar_rec.metrics.fingerprint() == records_rec.metrics.fingerprint()
+    )
+    assert _span_profile(columnar_rec) == _span_profile(records_rec)
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm,query,names", CASES, ids=CASE_IDS)
+def test_columnar_matches_records(algorithm, query, names, executor):
+    data = make_dataset(names, 60, seed=11)
+    records_pack = _run(algorithm, query, data, executor, "records")
+    columnar_pack = _run(algorithm, query, data, executor, "columnar")
+    _assert_cross_plane_parity(records_pack, columnar_pack)
+
+
+def test_env_switch_selects_columnar(monkeypatch):
+    """``REPRO_DATA_PLANE`` is the switch when no argument is passed."""
+    algorithm, query, names = CASES[0][0], CASES[0][1], CASES[0][2]
+    data = make_dataset(names, 50, seed=3)
+    explicit = execute(
+        query, data, algorithm=algorithm, num_partitions=5,
+        data_plane="columnar",
+    )
+    monkeypatch.setenv("REPRO_DATA_PLANE", "columnar")
+    from_env = execute(query, data, algorithm=algorithm, num_partitions=5)
+    assert from_env.tuple_ids() == explicit.tuple_ids()
+    assert _metrics_facts(from_env) == _metrics_facts(explicit)
+
+
+def test_unknown_plane_rejected():
+    from repro.errors import MapReduceError
+
+    data = make_dataset(("R1", "R2"), 20, seed=1)
+    query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+    with pytest.raises(MapReduceError):
+        execute(query, data, num_partitions=4, data_plane="vectorised")
+
+
+@pytest.mark.parametrize(
+    "algorithm,query",
+    [("all_replicate", SEQUENCE), ("all_matrix", SEQUENCE)],
+)
+def test_non_columnar_algorithms_fall_back(algorithm, query):
+    """Jobs that don't implement the columnar protocol run on the
+    records plane even when columnar is requested — same answer, same
+    deterministic facts, no error."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+    records_pack = _run(algorithm, query, data, "serial", "records")
+    columnar_pack = _run(algorithm, query, data, "serial", "columnar")
+    _assert_cross_plane_parity(records_pack, columnar_pack)
+
+
+@pytest.mark.parametrize("executor", ("serial", "processes"))
+def test_chaos_forces_records_fallback(executor):
+    """Fault injection gates the columnar plane off per job: a columnar
+    chaos run retries like a records chaos run and still equals the
+    clean run bit-for-bit."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+    clean, _ = _run("rccis", COLOCATION, data, executor, "columnar")
+    chaos, _ = _run(
+        "rccis", COLOCATION, data, executor, "columnar",
+        faults=pinned_plan(), max_attempts=3,
+    )
+    assert chaos.tuple_ids() == clean.tuple_ids()
+    assert chaos.metrics.tasks_failed > 0
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_profiler_is_passive_on_columnar(executor):
+    """Profiling a columnar run changes nothing outside the allowlisted
+    profile/wall metric groups."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=5)
+    plain, plain_rec = _run("rccis", COLOCATION, data, executor, "columnar")
+    profiled, prof_rec = _run(
+        "rccis", COLOCATION, data, executor, "columnar", profile=True
+    )
+    assert profiled.tuple_ids() == plain.tuple_ids()
+    assert _metrics_facts(profiled) == _metrics_facts(plain)
+    assert prof_rec.metrics.fingerprint() == plain_rec.metrics.fingerprint()
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_shm_transport_accounted_only_under_processes(executor):
+    """The profiler's shared-memory accounting fires exactly when the
+    zero-copy transport is in use: the columnar plane under the
+    processes executor."""
+    data = make_dataset(("R1", "R2"), 60, seed=7)
+    query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+    _, recorder = _run(
+        "two_way", query, data, executor, "columnar", profile=True
+    )
+    snapshot = recorder.metrics.as_dict()
+    family = snapshot.get("repro_profile_shm_bytes_total")
+    samples = family["samples"] if family else []
+    if executor == "processes":
+        assert sum(sample["value"] for sample in samples) > 0
+    else:
+        assert not samples
+
+
+def test_explain_surfaces_data_plane():
+    from repro.obs.explain import explain_query
+
+    query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+    plan = explain_query(query, num_partitions=4, data_plane="columnar")
+    assert plan.data_plane == "columnar"
+    assert "columnar" in plan.render()
+    default = explain_query(query, num_partitions=4)
+    assert default.data_plane == "records"
+    assert default.as_dict()["data_plane"] == "records"
