@@ -17,6 +17,14 @@ Commands
     (metric summary, JSON or Prometheus text), ``--html`` (one
     self-contained dashboard page) and ``--explain`` (EXPLAIN the plan
     before running, reconcile predictions against observations after).
+    Live monitoring: ``--live`` (per-task heartbeat telemetry with an
+    observed-straggler watchdog), ``--progress`` (in-terminal
+    progress/ETA ticker), ``--serve-status PORT`` (HTTP endpoint with
+    ``/metrics``, ``/progress`` and a live dashboard at ``/``) and
+    ``--task-timeout`` (fail-and-retry attempts that overrun a budget).
+``top``
+    Attach to a serving run's status endpoint and render a live
+    terminal view of its progress, phases and stalled tasks.
 ``explain``
     Render the physical plan for a query without running it: planner
     rationale (chosen algorithm and why each alternative was rejected,
@@ -208,6 +216,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--collapsed", default=None, metavar="PATH",
                      help="write the profiled run's collapsed-stack text "
                      "(flamegraph.pl format; implies --profile)")
+    run.add_argument("--live", action="store_true", default=None,
+                     help="collect per-task heartbeat telemetry: live "
+                     "progress/ETA, repro_live_* metrics and an observed-"
+                     "straggler watchdog that feeds --speculative "
+                     "(default: $REPRO_LIVE, then off)")
+    run.add_argument("--live-stall", type=float, default=None,
+                     metavar="SECONDS",
+                     help="watchdog threshold: flag a task whose last "
+                     "heartbeat is older than this as stalled "
+                     "(implies --live; default: $REPRO_LIVE_STALL, then 5)")
+    run.add_argument("--progress", action="store_true",
+                     help="render a live progress/ETA ticker on stderr "
+                     "while the query runs (implies --live)")
+    run.add_argument("--serve-status", type=int, default=None,
+                     metavar="PORT",
+                     help="serve live run status over HTTP on this port "
+                     "(0 picks a free one): /metrics Prometheus text, "
+                     "/progress JSON, / live dashboard (implies --live)")
+    run.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="fail any task attempt that runs longer than "
+                     "this; it retries under the normal backoff budget "
+                     "(default: $REPRO_TASK_TIMEOUT, then unlimited)")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a run serving --serve-status",
+    )
+    top.add_argument(
+        "url",
+        help="status endpoint, e.g. http://127.0.0.1:8750 (the /progress "
+        "route is implied)",
+    )
+    top.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                     help="refresh period (default: 1s)")
+    top.add_argument("--count", type=int, default=None, metavar="N",
+                     help="render N snapshots then exit (default: until "
+                     "the endpoint goes away or Ctrl-C)")
 
     explain = sub.add_parser(
         "explain",
@@ -443,6 +489,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile_level = resolve_profile(True)
     else:
         profile_level = resolve_profile(None)  # $REPRO_PROFILE decides
+    from repro.obs import resolve_live
+
+    if args.live_stall is not None:
+        live_config = resolve_live(args.live_stall)
+    elif args.live or args.progress or args.serve_status is not None:
+        live_config = resolve_live(True)
+    else:
+        live_config = resolve_live(None)  # $REPRO_LIVE decides
     observer = None
     if (
         args.explain
@@ -453,29 +507,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
         or args.metrics_out
         or args.html
         or profile_level
+        or live_config
     ):
         from repro.obs import TraceRecorder, open_sink
 
         sinks = [open_sink(args.trace, args.trace_format)] if args.trace else []
         observer = TraceRecorder(
-            *sinks, profile=profile_level if profile_level else False
+            *sinks,
+            profile=profile_level if profile_level else False,
+            live=live_config if live_config is not None else False,
         )
-    result = execute(
-        query,
-        data,
-        algorithm=args.algorithm,
-        num_partitions=args.partitions,
-        partition_strategy=args.partition_strategy,
-        executor=executor,
-        workers=workers,
-        observer=observer,
-        faults=args.faults,
-        max_attempts=args.max_attempts,
-        speculative=args.speculative,
-        data_plane=data_plane,
-    )
-    if observer is not None:
-        observer.close()
+    status_server = None
+    progress = None
+    if observer is not None and observer.live is not None:
+        if args.serve_status is not None:
+            from repro.obs import StatusServer
+
+            status_server = StatusServer(
+                observer, port=args.serve_status, title=f"repro run: {query}"
+            ).start()
+            print(
+                f"status:     serving {status_server.url} "
+                "(/metrics, /progress, / dashboard)",
+                file=sys.stderr,
+                flush=True,
+            )
+        if args.progress:
+            from repro.obs import ProgressPrinter
+
+            progress = ProgressPrinter(observer.live).start()
+    # --task-timeout travels by environment so the nine algorithm run()
+    # signatures stay untouched; resolve_faults() reads it per job.
+    import os
+
+    from repro.faults import TASK_TIMEOUT_ENV
+
+    saved_timeout = os.environ.get(TASK_TIMEOUT_ENV)
+    if args.task_timeout is not None:
+        os.environ[TASK_TIMEOUT_ENV] = str(args.task_timeout)
+    try:
+        result = execute(
+            query,
+            data,
+            algorithm=args.algorithm,
+            num_partitions=args.partitions,
+            partition_strategy=args.partition_strategy,
+            executor=executor,
+            workers=workers,
+            observer=observer,
+            faults=args.faults,
+            max_attempts=args.max_attempts,
+            speculative=args.speculative,
+            data_plane=data_plane,
+        )
+    finally:
+        if args.task_timeout is not None:
+            if saved_timeout is None:
+                os.environ.pop(TASK_TIMEOUT_ENV, None)
+            else:
+                os.environ[TASK_TIMEOUT_ENV] = saved_timeout
+        if observer is not None:
+            observer.close()
+        if progress is not None:
+            progress.close()
+        if status_server is not None:
+            status_server.close()
     m = result.metrics
     print(f"query:      {query}")
     print(f"class:      {query.query_class.name}")
@@ -684,6 +780,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+    from urllib.error import URLError
+
+    from repro.obs import fetch_progress, render_top
+
+    rendered = 0
+    while True:
+        try:
+            snapshot = fetch_progress(args.url)
+        except (URLError, OSError, ValueError) as exc:
+            if rendered:
+                # The run finished and took its endpoint with it.
+                print("endpoint gone; run finished")
+                return 0
+            raise ReproError(
+                f"cannot reach status endpoint {args.url!r}: {exc}"
+            ) from exc
+        print(render_top(snapshot))
+        rendered += 1
+        if args.count is not None and rendered >= args.count:
+            return 0
+        if snapshot.get("closed"):
+            return 0
+        try:
+            time.sleep(max(args.interval, 0.05))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
 def _cmd_histogram(args: argparse.Namespace) -> int:
     from repro.analysis import allen_histogram
 
@@ -709,6 +835,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "profile": _cmd_profile,
     "report": _cmd_report,
+    "top": _cmd_top,
     "histogram": _cmd_histogram,
 }
 

@@ -27,6 +27,7 @@ from repro.columnar.batch import (
     ColumnValues,
     MapBlock,
     PayloadStore,
+    job_columnar_gate,
     job_columnar_kind,
     operator_map_columns,
     ranged_targets,
@@ -48,6 +49,7 @@ __all__ = [
     "ColumnValues",
     "ColRow",
     "PayloadStore",
+    "job_columnar_gate",
     "job_columnar_kind",
     "operator_map_columns",
     "ranged_targets",

@@ -44,6 +44,7 @@ __all__ = [
     "ColumnValues",
     "ColRow",
     "PayloadStore",
+    "job_columnar_gate",
     "job_columnar_kind",
     "operator_map_columns",
     "ranged_targets",
@@ -361,24 +362,40 @@ class PayloadStore:
 # Job gating and the reducer-side dispatch.
 # ----------------------------------------------------------------------
 
+def job_columnar_gate(
+    conf: "JobConf",
+) -> Tuple[Optional[str], Optional[str]]:
+    """``(key kind, None)`` when every mapper and the reducer implement
+    the columnar protocol (and agree on one key family), else
+    ``(None, reason)`` — the reason strings feed the
+    ``repro_data_plane_fallback_total`` metric, EXPLAIN output and the
+    dashboard's fallback panel."""
+    kinds = set()
+    for spec in conf.inputs:
+        mapper = spec.mapper
+        if not hasattr(mapper, "map_columns"):
+            return None, "mapper-no-columnar-protocol"
+        ready = getattr(mapper, "columnar_ready", None)
+        if ready is None or not ready():
+            return None, "mapper-not-columnar-ready"
+        kinds.add(getattr(mapper, "columnar_key_kind", None))
+    if len(kinds) != 1 or None in kinds:
+        return None, "mixed-key-kinds"
+    reducer = conf.reducer
+    if not hasattr(reducer, "columnar_outputs"):
+        return None, "reducer-no-columnar-protocol"
+    ready = getattr(reducer, "columnar_ready", None)
+    if ready is None or not ready():
+        return None, "reducer-not-columnar-ready"
+    return kinds.pop(), None
+
+
 def job_columnar_kind(conf: "JobConf") -> Optional[str]:
     """The job's key kind when every mapper and the reducer implement
     the columnar protocol (and agree on one key family); ``None`` means
     the job must run on the records plane."""
-    kinds = set()
-    for spec in conf.inputs:
-        mapper = spec.mapper
-        ready = getattr(mapper, "columnar_ready", None)
-        if not hasattr(mapper, "map_columns") or ready is None or not ready():
-            return None
-        kinds.add(getattr(mapper, "columnar_key_kind", None))
-    if len(kinds) != 1 or None in kinds:
-        return None
-    reducer = conf.reducer
-    ready = getattr(reducer, "columnar_ready", None)
-    if not hasattr(reducer, "columnar_outputs") or ready is None or not ready():
-        return None
-    return kinds.pop()
+    kind, _ = job_columnar_gate(conf)
+    return kind
 
 
 def reduce_columns(reducer, key: Hashable, values: ColumnValues, context) -> None:

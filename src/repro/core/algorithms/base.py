@@ -22,13 +22,14 @@ import abc
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
+from repro.columnar import resolve_data_plane
 from repro.core.query import IntervalJoinQuery
 from repro.core.results import ExecutionMetrics, JoinResult
 from repro.core.schema import Relation, Row
 from repro.intervals.partitioning import Partitioning
 from repro.mapreduce.cost import CostModel, DEFAULT_COST_MODEL
 from repro.mapreduce.fs import FileSystem, InMemoryFileSystem
-from repro.mapreduce.pipeline import Pipeline
+from repro.mapreduce.pipeline import Pipeline, warn_if_all_fell_back
 from repro.obs.recorder import TraceRecorder
 
 __all__ = [
@@ -155,6 +156,13 @@ class JoinAlgorithm(abc.ABC):
 
     #: Short name used in metrics, planning, and benchmark tables.
     name: str = "abstract"
+
+    #: Whether at least one of the algorithm's jobs implements the
+    #: columnar protocol — a *static* declaration EXPLAIN uses to warn
+    #: that ``--data-plane columnar`` would fall back wholesale.  The
+    #: authoritative per-job decision stays with
+    #: :func:`repro.columnar.job_columnar_gate` at run time.
+    columnar_capable: bool = False
 
     @abc.abstractmethod
     def run(
@@ -311,6 +319,9 @@ class JoinAlgorithm(abc.ABC):
         ``repro_algorithm_shape`` gauges for the dashboard's reducer
         utilisation table.
         """
+        warn_if_all_fell_back(
+            pipeline.result.jobs, resolve_data_plane(pipeline.data_plane)
+        )
         metrics = ExecutionMetrics.from_pipeline(
             self.name, pipeline.result, cost_model
         )

@@ -163,6 +163,7 @@ class FCTS(JoinAlgorithm):
     """First Colocation Then Sequence."""
 
     name = "fcts"
+    columnar_capable = True
 
     def __init__(self, grid_parts: Optional[int] = None) -> None:
         self.grid_parts = grid_parts
@@ -450,6 +451,7 @@ class FSTC(JoinAlgorithm):
     """First Sequence Then Colocation."""
 
     name = "fstc"
+    columnar_capable = True
 
     def __init__(self, grid_parts: Optional[int] = None) -> None:
         self.grid_parts = grid_parts

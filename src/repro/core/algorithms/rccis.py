@@ -286,6 +286,7 @@ class RCCIS(JoinAlgorithm):
     """The paper's two-cycle colocation join algorithm."""
 
     name = "rccis"
+    columnar_capable = True
 
     def run(
         self,

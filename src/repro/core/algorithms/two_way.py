@@ -93,6 +93,7 @@ class TwoWayJoin(JoinAlgorithm):
     """Single-condition interval join via the Figure-1 operator table."""
 
     name = "two_way"
+    columnar_capable = True
 
     def run(
         self,

@@ -160,6 +160,17 @@ def execute(
     except ReproError as exc:
         prediction_error = str(exc)
 
+    # Seed the live telemetry hub (when one is attached) with the
+    # analytic plan so progress/ETA can weight phases by predicted
+    # volume instead of assuming uniform cycles.
+    live = getattr(observer, "live", None)
+    if live is not None and prediction is not None:
+        live.set_plan(
+            runner.name,
+            [c.as_dict() for c in prediction.cycles],
+            prediction.modelled_seconds,
+        )
+
     with observer.span(
         f"query:{query}", kind="query", query_class=query.query_class.name
     ):

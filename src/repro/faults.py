@@ -47,6 +47,7 @@ __all__ = [
     "FAULTS_ENV",
     "MAX_ATTEMPTS_ENV",
     "SPECULATIVE_ENV",
+    "TASK_TIMEOUT_ENV",
     "FaultEvent",
     "FaultPlan",
     "ScriptedFaultPlan",
@@ -74,6 +75,7 @@ FAULTS_GROUP = "faults"
 FAULTS_ENV = "REPRO_FAULTS"
 MAX_ATTEMPTS_ENV = "REPRO_MAX_ATTEMPTS"
 SPECULATIVE_ENV = "REPRO_SPECULATIVE"
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 
 #: Attempts per task when a fault plan is active and nothing says
 #: otherwise (Hadoop's ``mapreduce.map.maxattempts`` defaults to 4; the
@@ -334,7 +336,9 @@ class ResolvedFaults:
     exponential retry backoff (``base * 2**(attempt-1)``, capped): the
     full value is charged as *virtual* time on the retry's span, while
     real sleeping — only under the parallel executors — is additionally
-    capped by ``sleep_cap`` so chaos runs stay fast.
+    capped by ``sleep_cap`` so chaos runs stay fast.  ``task_timeout``
+    (seconds, ``None`` for unlimited) fails any attempt that runs longer,
+    feeding the same retry/backoff path as an injected crash.
     """
 
     plan: Optional[Any] = None
@@ -343,12 +347,16 @@ class ResolvedFaults:
     backoff_base: float = 0.002
     backoff_cap: float = 0.1
     sleep_cap: float = 0.05
+    task_timeout: Optional[float] = None
 
     @property
     def active(self) -> bool:
         """Whether the fault machinery participates in execution at all."""
         return (
-            self.plan is not None or self.max_attempts > 1 or self.speculative
+            self.plan is not None
+            or self.max_attempts > 1
+            or self.speculative
+            or self.task_timeout is not None
         )
 
     def events_for(
@@ -392,10 +400,24 @@ def _env_speculative() -> Optional[bool]:
     return text in ("1", "true", "yes", "on")
 
 
+def _env_task_timeout() -> Optional[float]:
+    text = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+    if not text:
+        return None
+    try:
+        value = float(text)
+    except ValueError:
+        raise MapReduceError(
+            f"{TASK_TIMEOUT_ENV} must be a number of seconds, got {text!r}"
+        ) from None
+    return value
+
+
 def resolve_faults(
     faults: Union[None, bool, int, str, Any] = None,
     max_attempts: Optional[int] = None,
     speculative: Optional[bool] = None,
+    task_timeout: Optional[float] = None,
 ) -> ResolvedFaults:
     """The effective fault configuration: explicit arguments beat the
     environment, the environment beats the fault-free default.
@@ -407,7 +429,8 @@ def resolve_faults(
     ``$REPRO_MAX_ATTEMPTS``, then :data:`DEFAULT_MAX_ATTEMPTS` when a
     plan is active, else 1 (fail fast, the pre-fault-tolerance
     behaviour).  ``speculative`` defaults to ``$REPRO_SPECULATIVE``,
-    then off.
+    then off.  ``task_timeout`` defaults to ``$REPRO_TASK_TIMEOUT``,
+    then unlimited.
     """
     if faults is False:
         # Force the whole machinery off, environment included: without a
@@ -441,6 +464,22 @@ def resolve_faults(
         speculative = _env_speculative()
     if speculative is None:
         speculative = False
+    if task_timeout is None and faults is not False:
+        # ``faults=False`` forces the machinery off, environment
+        # included — an env-supplied timeout must not reactivate it.
+        task_timeout = _env_task_timeout()
+    if task_timeout is not None and (
+        isinstance(task_timeout, bool) or task_timeout <= 0
+    ):
+        raise MapReduceError(
+            f"task_timeout must be a positive number of seconds, "
+            f"got {task_timeout!r}"
+        )
     return ResolvedFaults(
-        plan=plan, max_attempts=max_attempts, speculative=bool(speculative)
+        plan=plan,
+        max_attempts=max_attempts,
+        speculative=bool(speculative),
+        task_timeout=(
+            float(task_timeout) if task_timeout is not None else None
+        ),
     )

@@ -8,6 +8,7 @@ outputs, accumulating counters and per-job results for the cost model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -20,7 +21,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.cost import CostModel
     from repro.obs.recorder import TraceRecorder
 
-__all__ = ["Pipeline", "PipelineResult"]
+__all__ = ["Pipeline", "PipelineResult", "warn_if_all_fell_back"]
+
+logger = logging.getLogger("repro.columnar")
+
+
+def warn_if_all_fell_back(
+    jobs: Sequence[JobResult], data_plane: Optional[str]
+) -> bool:
+    """Log one warning when ``columnar`` was requested but no job used it.
+
+    Per-job fallbacks are normal (a cascade may mix columnar-capable and
+    records-only cycles) and are only surfaced through the
+    ``repro_data_plane_fallback_total`` metric and EXPLAIN; a run where
+    *every* job fell back usually means a misconfiguration, so it earns
+    a single log-level warning.  Returns whether the warning fired.
+    """
+    if data_plane != "columnar" or not jobs:
+        return False
+    if any(job.data_plane == "columnar" for job in jobs):
+        return False
+    reasons = sorted(
+        {job.data_plane_fallback or "unknown" for job in jobs}
+    )
+    logger.warning(
+        "--data-plane columnar requested but all %d job(s) fell back to "
+        "the records plane (reasons: %s); see "
+        "repro_data_plane_fallback_total for the per-job breakdown",
+        len(jobs),
+        ", ".join(reasons),
+    )
+    return True
 
 
 @dataclass
@@ -72,6 +103,7 @@ class Pipeline:
         max_attempts: Optional[int] = None,
         speculative: Optional[bool] = None,
         data_plane: Optional[str] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         self.fs = fs
         #: executor name, or None to defer to $REPRO_EXECUTOR / "serial".
@@ -90,6 +122,8 @@ class Pipeline:
         self.speculative = speculative
         #: data plane ("records"/"columnar"; None: $REPRO_DATA_PLANE).
         self.data_plane = data_plane
+        #: per-task attempt timeout in seconds (None: $REPRO_TASK_TIMEOUT).
+        self.task_timeout = task_timeout
         self.result = PipelineResult()
 
     def run(self, conf: JobConf) -> JobResult:
@@ -105,6 +139,7 @@ class Pipeline:
             max_attempts=self.max_attempts,
             speculative=self.speculative,
             data_plane=self.data_plane,
+            task_timeout=self.task_timeout,
         )
         self.result.jobs.append(job_result)
         return job_result

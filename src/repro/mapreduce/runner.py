@@ -89,12 +89,17 @@ from repro.columnar.batch import (
     ColumnarPairs,
     MapBlock,
     PayloadStore,
-    job_columnar_kind,
+    job_columnar_gate,
 )
 from repro.columnar.codec import KEY_CODECS, KeyCodec
 from repro.columnar.plane import resolve_data_plane
 from repro.columnar.shm import pack_reduce_task, unpack_reduce_task
-from repro.errors import FaultInjectedError, MapReduceError, WorkerPoolError
+from repro.errors import (
+    FaultInjectedError,
+    MapReduceError,
+    TaskTimeoutError,
+    WorkerPoolError,
+)
 from repro.faults import (
     CORRUPT,
     FAULTS_GROUP,
@@ -107,7 +112,7 @@ from repro.mapreduce.fs import FileSystem
 from repro.mapreduce.job import InputSpec, JobConf, JobResult
 from repro.mapreduce.shuffle import columnar_shuffle, partition_stats, shuffle
 from repro.mapreduce.task import MapContext, Mapper, ReduceContext, Reducer
-from repro.obs.metrics import GROUP_FAULTS, LOAD_BUCKETS
+from repro.obs.metrics import GROUP_FAULTS, GROUP_LIVE, LOAD_BUCKETS
 from repro.obs.profile import run_profiled_task as _process_profiled_task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -120,6 +125,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def _profiler_of(observer: Optional["TraceRecorder"]) -> Optional["Profiler"]:
     """The attached data-plane profiler, if any."""
     return getattr(observer, "profiler", None) if observer is not None else None
+
+
+def _live_of(observer: Optional["TraceRecorder"]) -> Optional[Any]:
+    """The attached live telemetry hub, if any."""
+    return getattr(observer, "live", None) if observer is not None else None
+
+
+def _task_beat(
+    live: Optional[Any], job: str, phase: str, index: int, executor: str
+) -> Optional[Any]:
+    """A heartbeat emitter for one task, or ``None`` with telemetry off."""
+    if live is None:
+        return None
+    return live.task_beat(job, phase, index, 0, executor)
 
 __all__ = [
     "run_job",
@@ -349,20 +368,34 @@ def _map_task_core(
     mapper: Mapper,
     combiner: Optional[Reducer],
     faults: Optional[AttemptInjector] = None,
+    beat: Optional[Any] = None,
 ) -> Tuple[List[Tuple[Hashable, Any]], Counters]:
     """Run one map task (one input spec), combiner included."""
     counters = Counters()
-    context = MapContext(counters, path)
+    context = MapContext(counters, path, beat)
     mapper.setup(context)
-    for record in records:
-        counters.increment("framework", "map_input_records")
-        mapper.map(record, context)
+    if beat is None:
+        # Telemetry off: the seed's loop, byte for byte.
+        for record in records:
+            counters.increment("framework", "map_input_records")
+            mapper.map(record, context)
+    else:
+        processed = 0
+        for record in records:
+            counters.increment("framework", "map_input_records")
+            mapper.map(record, context)
+            processed += 1
+            beat.progress(processed)
+        beat.progress(processed, force=True)
     if faults is not None:
         faults.check("cleanup")
     mapper.cleanup(context)
     task_pairs = context.drain()
     counters.increment("framework", "map_output_records", len(task_pairs))
     if combiner is not None:
+        if beat is not None:
+            # Boundary beat before the combiner takes over the attempt.
+            beat.progress(force=True)
         task_pairs = _run_combiner(combiner, task_pairs, counters, faults)
     return task_pairs, counters
 
@@ -399,6 +432,7 @@ def _reduce_task_core(
     task_index: int,
     groups: List[Tuple[Hashable, List[Any]]],
     faults: Optional[AttemptInjector] = None,
+    beat: Optional[Any] = None,
 ) -> Tuple[List[Any], Counters]:
     """The untraced body of one physical reduce task."""
     counters = Counters()
@@ -406,14 +440,29 @@ def _reduce_task_core(
     # (key routing decides which tasks receive groups at all).
     counters.increment("framework", "reduce_input_groups", 0)
     counters.increment("framework", "reduce_input_records", 0)
-    context = ReduceContext(counters, task_index)
+    context = ReduceContext(counters, task_index, beat)
     reducer.setup(context)
     output: List[Any] = []
-    for key, values in groups:
-        counters.increment("framework", "reduce_input_groups")
-        counters.increment("framework", "reduce_input_records", len(values))
-        reducer.reduce(key, values, context)
-        output.extend(context.drain())
+    if beat is None:
+        for key, values in groups:
+            counters.increment("framework", "reduce_input_groups")
+            counters.increment(
+                "framework", "reduce_input_records", len(values)
+            )
+            reducer.reduce(key, values, context)
+            output.extend(context.drain())
+    else:
+        processed = 0
+        for key, values in groups:
+            counters.increment("framework", "reduce_input_groups")
+            counters.increment(
+                "framework", "reduce_input_records", len(values)
+            )
+            reducer.reduce(key, values, context)
+            output.extend(context.drain())
+            processed += len(values)
+            beat.progress(processed)
+        beat.progress(processed, force=True)
     if faults is not None:
         faults.check("cleanup")
     reducer.cleanup(context)
@@ -598,6 +647,7 @@ def _run_map_task_traced(
     observer: Optional["TraceRecorder"],
     parent: Optional["Span"],
     cost_model: Optional["CostModel"],
+    beat: Optional[Any] = None,
 ) -> Tuple[List[Tuple[Hashable, Any]], Counters]:
     if observer is None:
         return _map_task_core(spec.path, records, spec.mapper, combiner)
@@ -609,9 +659,15 @@ def _run_map_task_traced(
         phase="map",
         task_index=index,
     ) as span:
+        if beat is not None:
+            beat.start()
         task_pairs, task_counters = _map_task_core(
-            spec.path, records, spec.mapper, combiner
+            spec.path, records, spec.mapper, combiner, beat=beat
         )
+        if beat is not None:
+            beat.finish(
+                task_counters.value("framework", "map_input_records")
+            )
         span.counters = task_counters.delta({})
         span.annotate(
             **_map_span_attrs(task_counters, len(task_pairs), cost_model)
@@ -629,6 +685,7 @@ def _run_reduce_task(
     observer: Optional["TraceRecorder"] = None,
     parent: Optional["Span"] = None,
     cost_model: Optional["CostModel"] = None,
+    beat: Optional[Any] = None,
 ) -> Tuple[List[Any], Counters]:
     """Run one physical reduce task over its key groups.
 
@@ -646,7 +703,15 @@ def _run_reduce_task(
         phase="reduce",
         task_index=task_index,
     ) as span:
-        output, counters = _reduce_task_core(conf.reducer, task_index, groups)
+        if beat is not None:
+            beat.start()
+        output, counters = _reduce_task_core(
+            conf.reducer, task_index, groups, beat=beat
+        )
+        if beat is not None:
+            beat.finish(
+                counters.value("framework", "reduce_input_records")
+            )
         span.counters = counters.snapshot()
         span.annotate(**_reduce_span_attrs(counters, output, cost_model))
         _record_reduce_task_metrics(observer, conf.name, counters, output)
@@ -662,19 +727,41 @@ def _run_reduce_task(
 def _process_map_task(
     payload: Tuple[str, Sequence[Any], Mapper, Optional[Reducer]],
 ) -> Tuple[List[Tuple[Hashable, Any]], Dict[str, Dict[str, int]], float]:
-    path, records, mapper, combiner = payload
+    # Live telemetry appends a heartbeat emitter as an optional fifth
+    # element (a manager-queue channel, picklable); len-gating keeps the
+    # telemetry-off payload — and therefore its pickle — byte-identical
+    # to the seed's.
+    path, records, mapper, combiner = payload[:4]
+    beat = payload[4] if len(payload) > 4 else None
+    if beat is not None:
+        beat.start()
     started = time.perf_counter()
-    task_pairs, task_counters = _map_task_core(path, records, mapper, combiner)
-    return task_pairs, task_counters.as_dict(), time.perf_counter() - started
+    task_pairs, task_counters = _map_task_core(
+        path, records, mapper, combiner, beat=beat
+    )
+    elapsed = time.perf_counter() - started
+    if beat is not None:
+        beat.finish(task_counters.value("framework", "map_input_records"))
+    return task_pairs, task_counters.as_dict(), elapsed
 
 
 def _process_reduce_task(
     payload: Tuple[Reducer, int, List[Tuple[Hashable, List[Any]]]],
 ) -> Tuple[List[Any], Dict[str, Dict[str, int]], float]:
-    reducer, task_index, groups = payload
+    reducer, task_index, groups = payload[:3]
+    beat = payload[3] if len(payload) > 3 else None
+    if beat is not None:
+        beat.start()
     started = time.perf_counter()
-    output, task_counters = _reduce_task_core(reducer, task_index, groups)
-    return output, task_counters.as_dict(), time.perf_counter() - started
+    output, task_counters = _reduce_task_core(
+        reducer, task_index, groups, beat=beat
+    )
+    elapsed = time.perf_counter() - started
+    if beat is not None:
+        beat.finish(
+            task_counters.value("framework", "reduce_input_records")
+        )
+    return output, task_counters.as_dict(), elapsed
 
 
 def _process_map_attempt(
@@ -683,11 +770,12 @@ def _process_map_attempt(
     """One fault-aware map attempt: the injected events travel in the
     payload so worker-side lifecycle crashes fire inside the worker and
     propagate back through the attempt's future."""
-    path, records, mapper, combiner, events = payload
+    path, records, mapper, combiner, events = payload[:5]
+    beat = payload[5] if len(payload) > 5 else None
     injector = AttemptInjector(events)
     started = time.perf_counter()
     task_pairs, task_counters = _map_task_core(
-        path, records, mapper, combiner, faults=injector
+        path, records, mapper, combiner, faults=injector, beat=beat
     )
     return task_pairs, task_counters.as_dict(), time.perf_counter() - started
 
@@ -695,11 +783,12 @@ def _process_map_attempt(
 def _process_reduce_attempt(
     payload: Tuple[Reducer, int, List[Tuple[Hashable, List[Any]]], Tuple],
 ) -> Tuple[List[Any], Dict[str, Dict[str, int]], float]:
-    reducer, task_index, groups, events = payload
+    reducer, task_index, groups, events = payload[:4]
+    beat = payload[4] if len(payload) > 4 else None
     injector = AttemptInjector(events)
     started = time.perf_counter()
     output, task_counters = _reduce_task_core(
-        reducer, task_index, groups, faults=injector
+        reducer, task_index, groups, faults=injector, beat=beat
     )
     return output, task_counters.as_dict(), time.perf_counter() - started
 
@@ -716,10 +805,20 @@ def _run_map_tasks_processes(
     cost_model: Optional["CostModel"],
     workers: int,
 ) -> List[Tuple[List[Tuple[Hashable, Any]], Counters]]:
-    payloads = [
-        (spec.path, records, spec.mapper, conf.combiner)
-        for _, spec, records in tasks
-    ]
+    live = _live_of(observer)
+    if live is None:
+        payloads = [
+            (spec.path, records, spec.mapper, conf.combiner)
+            for _, spec, records in tasks
+        ]
+    else:
+        payloads = [
+            (
+                spec.path, records, spec.mapper, conf.combiner,
+                _task_beat(live, conf.name, "map", index, "processes"),
+            )
+            for index, spec, records in tasks
+        ]
     shipped = _pool_map(
         _process_map_task, payloads, workers,
         conf.name, "map", [index for index, _, _ in tasks],
@@ -757,9 +856,20 @@ def _run_reduce_tasks_processes(
     cost_model: Optional["CostModel"],
     workers: int,
 ) -> List[Tuple[List[Any], Counters]]:
-    payloads = [
-        (conf.reducer, index, groups) for index, groups in enumerate(tasks)
-    ]
+    live = _live_of(observer)
+    if live is None:
+        payloads = [
+            (conf.reducer, index, groups)
+            for index, groups in enumerate(tasks)
+        ]
+    else:
+        payloads = [
+            (
+                conf.reducer, index, groups,
+                _task_beat(live, conf.name, "reduce", index, "processes"),
+            )
+            for index, groups in enumerate(tasks)
+        ]
     shipped = _pool_map(
         _process_reduce_task, payloads, workers,
         conf.name, "reduce", range(len(payloads)),
@@ -812,11 +922,13 @@ def _run_map_phase(
                 counters.merge(task_counters)
                 pairs.extend(task_pairs)
             return pairs
+        live = _live_of(observer)
         with observer.span("map", kind="phase", job=conf.name) as phase_span:
             for index, spec in enumerate(conf.inputs):
                 task_pairs, task_counters = _run_map_task_traced(
                     spec, index, fs.read_dir(spec.path), conf.combiner,
                     conf.name, observer, phase_span, cost_model,
+                    beat=_task_beat(live, conf.name, "map", index, "serial"),
                 )
                 counters.merge(task_counters)
                 pairs.extend(task_pairs)
@@ -835,12 +947,14 @@ def _run_map_phase(
     )
     try:
         if executor == "threads":
+            live = _live_of(observer)
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(
                         _run_map_task_traced,
                         spec, index, records, conf.combiner,
                         conf.name, observer, phase_span, cost_model,
+                        _task_beat(live, conf.name, "map", index, "threads"),
                     )
                     for index, spec, records in tasks
                 ]
@@ -930,6 +1044,7 @@ def _run_map_phase_columnar(
             _, task_counters = run_task(index, spec)
             counters.merge(task_counters)
         return pairs
+    live = _live_of(observer)
     with observer.span("map", kind="phase", job=conf.name) as phase_span:
         for index, spec in enumerate(conf.inputs):
             with observer.span(
@@ -940,7 +1055,12 @@ def _run_map_phase_columnar(
                 phase="map",
                 task_index=index,
             ) as span:
+                beat = _task_beat(live, conf.name, "map", index, "serial")
+                if beat is not None:
+                    beat.start()
                 num_pairs, task_counters = run_task(index, spec)
+                if beat is not None:
+                    beat.finish(num_pairs)
                 span.counters = task_counters.delta({})
                 span.annotate(
                     **_map_span_attrs(task_counters, num_pairs, cost_model)
@@ -961,16 +1081,26 @@ def _process_columnar_reduce_task(
     compact gid-shaped outputs; the parent materialises them.  Every
     array view into the block must be dropped before ``close()``.
     """
-    reducer, task_index, task = payload
+    reducer, task_index, task = payload[:3]
+    beat = payload[3] if len(payload) > 3 else None
+    if beat is not None:
+        beat.start()
     started = time.perf_counter()
     groups, shm = unpack_reduce_task(task)
     try:
-        output, task_counters = _reduce_task_core(reducer, task_index, groups)
+        output, task_counters = _reduce_task_core(
+            reducer, task_index, groups, beat=beat
+        )
     finally:
         del groups
         if shm is not None:
             shm.close()
-    return output, task_counters.as_dict(), time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    if beat is not None:
+        beat.finish(
+            task_counters.value("framework", "reduce_input_records")
+        )
+    return output, task_counters.as_dict(), elapsed
 
 
 def _run_reduce_tasks_processes_columnar(
@@ -1000,10 +1130,22 @@ def _run_reduce_tasks_processes_columnar(
                 conf.name, "reduce", "request",
                 sum(descriptor.nbytes for descriptor, _ in packed),
             )
-        payloads = [
-            (conf.reducer, index, descriptor)
-            for index, (descriptor, _) in enumerate(packed)
-        ]
+        live = _live_of(observer)
+        if live is None:
+            payloads = [
+                (conf.reducer, index, descriptor)
+                for index, (descriptor, _) in enumerate(packed)
+            ]
+        else:
+            payloads = [
+                (
+                    conf.reducer, index, descriptor,
+                    _task_beat(
+                        live, conf.name, "reduce", index, "processes"
+                    ),
+                )
+                for index, (descriptor, _) in enumerate(packed)
+            ]
         shipped = _pool_map(
             _process_columnar_reduce_task, payloads, workers,
             conf.name, "reduce", range(len(payloads)),
@@ -1065,7 +1207,9 @@ def _run_task_attempts(
     phase: str,
     task_index: int,
     span_name: str,
-    execute: Callable[[int, AttemptInjector], Tuple[Any, Counters, float]],
+    execute: Callable[
+        [int, AttemptInjector, Optional[Any]], Tuple[Any, Counters, float]
+    ],
     fctx: ResolvedFaults,
     executor: str,
     observer: Optional["TraceRecorder"],
@@ -1075,6 +1219,7 @@ def _run_task_attempts(
     stage: Optional[Callable[[Any, int], None]] = None,
     discard: Optional[Callable[[int], None]] = None,
     metrics_fn: Optional[Callable[[Counters, Any], None]] = None,
+    beat: Optional[Any] = None,
 ) -> _TaskOutcome:
     """Run one task to success within its retry budget.
 
@@ -1090,6 +1235,13 @@ def _run_task_attempts(
     ``kind="attempt"`` span.  The winner keeps the regular
     ``kind="task"`` span, annotated with its ``attempt`` number.  Once
     the budget is spent the *original* exception propagates.
+
+    With live telemetry attached, ``beat`` reports each attempt: its
+    start is emitted *before* the injected-delay sleep, so a delayed
+    attempt looks to the watchdog exactly like an observed straggler —
+    started, then silent.  ``fctx.task_timeout`` additionally fails any
+    attempt whose observed time (injected delay included; virtual under
+    ``serial``) exceeds the limit, feeding this same retry loop.
     """
     fault_counters = Counters()
     real_sleep = executor != "serial"
@@ -1101,13 +1253,28 @@ def _run_task_attempts(
         if backoff and real_sleep:
             time.sleep(min(backoff, fctx.sleep_cap))
         delay = injector.delay_seconds()
+        attempt_beat = beat.for_attempt(attempt) if beat is not None else None
         started = time.perf_counter()
         staged = False
         try:
             injector.check("setup")
+            if attempt_beat is not None:
+                attempt_beat.start()
             if delay and real_sleep:
                 time.sleep(min(delay, fctx.sleep_cap))
-            result, task_counters, elapsed = execute(attempt, injector)
+            result, task_counters, elapsed = execute(
+                attempt, injector, attempt_beat
+            )
+            if fctx.task_timeout is not None:
+                observed = (
+                    time.perf_counter() - started
+                    if real_sleep
+                    else elapsed + delay
+                )
+                if observed > fctx.task_timeout:
+                    raise TaskTimeoutError(
+                        job, phase, task_index, observed, fctx.task_timeout
+                    )
             if stage is not None:
                 stage(result, attempt)
                 staged = True
@@ -1139,6 +1306,8 @@ def _run_task_attempts(
                 raise
             fault_counters.increment(FAULTS_GROUP, "tasks_retried")
             continue
+        if attempt_beat is not None:
+            attempt_beat.finish()
         duration = elapsed
         if not real_sleep:
             duration += delay + backoff  # straggling is virtual when serial
@@ -1181,19 +1350,30 @@ def _speculate(
     fctx: ResolvedFaults,
     observer: Optional["TraceRecorder"],
     parent: Optional["Span"],
+    live: Optional[Any] = None,
 ) -> None:
-    """Run backup attempts for plan-delayed winners.
+    """Run backup attempts for straggling winners.
 
-    First-to-finish wins — and by construction the original attempt has
-    already finished, so the backup is pure wasted work: its output is
-    discarded before commit and it is counted as
+    Candidates come from two sources: winners the fault *plan* delayed
+    (the scripted path), and tasks the live telemetry *watchdog* flagged
+    as observed stragglers — no script involved, just stalled
+    heartbeats.  First-to-finish wins — and by construction the original
+    attempt has already finished, so the backup is pure wasted work: its
+    output is discarded before commit and it is counted as
     ``faults:speculative_wasted`` and recorded as a speculative
-    ``kind="attempt"`` span.  A backup that itself fails is swallowed
-    (a lost speculation never fails the job)."""
-    if not fctx.speculative or fctx.plan is None:
+    ``kind="attempt"`` span (watchdog-launched backups additionally
+    carry ``trigger="watchdog"``).  A backup that itself fails is
+    swallowed (a lost speculation never fails the job)."""
+    if not fctx.speculative:
+        return
+    stalled = (
+        live.stalled_indices(job, phase) if live is not None else frozenset()
+    )
+    if fctx.plan is None and not stalled:
         return
     for index, outcome in enumerate(outcomes):
-        if not outcome.delayed:
+        watchdog = index in stalled and not outcome.delayed
+        if not outcome.delayed and not watchdog:
             continue
         backup = outcome.attempt + 1
         started = time.perf_counter()
@@ -1211,6 +1391,8 @@ def _speculate(
                 "attempt": backup,
                 "speculative": True,
             }
+            if watchdog:
+                attrs["trigger"] = "watchdog"
             if error is not None:
                 attrs["error"] = type(error).__name__
             observer.record_completed(
@@ -1251,13 +1433,20 @@ def _run_map_phase_faulted(
         else None
     )
     pairs: List[Tuple[Hashable, Any]] = []
+    live = _live_of(observer)
     try:
-        def run_attempt(index, spec, records, injector):
+        def run_attempt(index, spec, records, injector, beat=None):
             if executor == "processes":
-                payload = (
-                    spec.path, records, spec.mapper, conf.combiner,
-                    injector.events,
-                )
+                if beat is None:
+                    payload = (
+                        spec.path, records, spec.mapper, conf.combiner,
+                        injector.events,
+                    )
+                else:
+                    payload = (
+                        spec.path, records, spec.mapper, conf.combiner,
+                        injector.events, beat,
+                    )
                 return _submit_attempt(
                     _process_map_attempt, payload, workers,
                     conf.name, "map", index,
@@ -1269,7 +1458,7 @@ def _run_map_phase_faulted(
             # process pool gets this for free from pickling).
             task_pairs, task_counters = _map_task_core(
                 spec.path, records, copy.deepcopy(spec.mapper),
-                copy.deepcopy(conf.combiner), faults=injector,
+                copy.deepcopy(conf.combiner), faults=injector, beat=beat,
             )
             return task_pairs, task_counters, time.perf_counter() - started
 
@@ -1279,8 +1468,8 @@ def _run_map_phase_faulted(
                 phase="map",
                 task_index=index,
                 span_name=f"map:{spec.path}",
-                execute=lambda attempt, injector: run_attempt(
-                    index, spec, records, injector
+                execute=lambda attempt, injector, beat: run_attempt(
+                    index, spec, records, injector, beat
                 ),
                 fctx=fctx,
                 executor=executor,
@@ -1293,6 +1482,7 @@ def _run_map_phase_faulted(
                         observer, conf.name, path, c, len(r)
                     )
                 ),
+                beat=_task_beat(live, conf.name, "map", index, executor),
             )
 
         if executor == "serial":
@@ -1322,7 +1512,7 @@ def _run_map_phase_faulted(
         _speculate(
             conf.name, "map", outcomes,
             lambda i: f"map:{tasks[i][1].path}",
-            rerun, fctx, observer, phase_span,
+            rerun, fctx, observer, phase_span, live=live,
         )
 
         for outcome in outcomes:
@@ -1353,9 +1543,16 @@ def _run_reduce_phase_faulted(
     discarded, and the caller promotes each winner to its ``part-*``
     file when gathering results.
     """
-    def run_attempt(index, groups, injector):
+    live = _live_of(observer)
+
+    def run_attempt(index, groups, injector, beat=None):
         if executor == "processes":
-            payload = (conf.reducer, index, groups, injector.events)
+            if beat is None:
+                payload = (conf.reducer, index, groups, injector.events)
+            else:
+                payload = (
+                    conf.reducer, index, groups, injector.events, beat
+                )
             return _submit_attempt(
                 _process_reduce_attempt, payload, workers,
                 conf.name, "reduce", index,
@@ -1367,7 +1564,8 @@ def _run_reduce_phase_faulted(
         # shared instance would let a failed attempt's work leak into a
         # concurrent task's counters.
         output, task_counters = _reduce_task_core(
-            copy.deepcopy(conf.reducer), index, groups, faults=injector
+            copy.deepcopy(conf.reducer), index, groups, faults=injector,
+            beat=beat,
         )
         return output, task_counters, time.perf_counter() - started
 
@@ -1377,8 +1575,8 @@ def _run_reduce_phase_faulted(
             phase="reduce",
             task_index=index,
             span_name=f"reduce[{index}]",
-            execute=lambda attempt, injector: run_attempt(
-                index, groups, injector
+            execute=lambda attempt, injector, beat: run_attempt(
+                index, groups, injector, beat
             ),
             fctx=fctx,
             executor=executor,
@@ -1395,6 +1593,7 @@ def _run_reduce_phase_faulted(
             metrics_fn=lambda c, r: _record_reduce_task_metrics(
                 observer, conf.name, c, r
             ),
+            beat=_task_beat(live, conf.name, "reduce", index, executor),
         )
 
     if executor == "serial":
@@ -1427,7 +1626,7 @@ def _run_reduce_phase_faulted(
     _speculate(
         conf.name, "reduce", outcomes,
         lambda i: f"reduce[{i}]",
-        rerun, fctx, observer, reduce_span,
+        rerun, fctx, observer, reduce_span, live=live,
     )
     return outcomes
 
@@ -1443,6 +1642,7 @@ def run_job(
     max_attempts: Optional[int] = None,
     speculative: Optional[bool] = None,
     data_plane: Optional[str] = None,
+    task_timeout: Optional[float] = None,
 ) -> JobResult:
     """Execute one MapReduce job and return its measurements.
 
@@ -1484,8 +1684,15 @@ def run_job(
         ``$REPRO_DATA_PLANE``.  The columnar plane engages per job, only
         when every mapper and the reducer implement the columnar
         protocol, no combiner is configured and no fault machinery is
-        active — otherwise the job silently runs on the records plane.
-        Both planes produce bit-identical outputs and counters.
+        active — otherwise the job runs on the records plane, and with an
+        observer attached the fallback and its reason are recorded in the
+        ``repro_data_plane_fallback_total`` metric, the job span and the
+        :class:`JobResult`.  Both planes produce bit-identical outputs
+        and counters.
+    task_timeout:
+        Per-task attempt timeout in seconds; ``None`` defers to
+        ``$REPRO_TASK_TIMEOUT``, then unlimited.  A timed-out attempt
+        fails and retries with the established backoff semantics.
     """
     executor = resolve_executor(executor)
     workers = resolve_workers(workers)
@@ -1494,6 +1701,7 @@ def run_job(
         faults,
         conf.max_attempts if conf.max_attempts is not None else max_attempts,
         conf.speculative if conf.speculative is not None else speculative,
+        task_timeout,
     )
     if conf.num_reduce_tasks < 1:
         raise MapReduceError("a job needs at least one reduce task")
@@ -1507,18 +1715,32 @@ def run_job(
     fs.metrics = observer.metrics if observer is not None else None
     fs.profiler = _profiler_of(observer)
 
-    columnar_kind = (
-        job_columnar_kind(conf)
-        if plane == "columnar" and not fctx.active and conf.combiner is None
-        else None
-    )
+    columnar_kind: Optional[str] = None
+    plane_fallback: Optional[str] = None
+    if plane == "columnar":
+        if fctx.active:
+            plane_fallback = "fault-machinery-active"
+        elif conf.combiner is not None:
+            plane_fallback = "combiner-configured"
+        else:
+            columnar_kind, plane_fallback = job_columnar_gate(conf)
     store = PayloadStore() if columnar_kind is not None else None
+    if plane_fallback is not None and observer is not None:
+        observer.metrics.counter(
+            "repro_data_plane_fallback_total",
+            "Jobs that fell back from the requested columnar plane to "
+            "the records plane, by reason.",
+            labels=("job", "reason"),
+            group=GROUP_LIVE,
+        ).inc(job=conf.name, reason=plane_fallback)
 
     job_attrs: Dict[str, Any] = {}
     if fctx.active:
         job_attrs["max_attempts"] = fctx.max_attempts
     if columnar_kind is not None:
         job_attrs["data_plane"] = "columnar"
+    if plane_fallback is not None:
+        job_attrs["data_plane_fallback"] = plane_fallback
     job_span = (
         observer.start_span(
             f"job:{conf.name}",
@@ -1531,7 +1753,12 @@ def run_job(
         if observer is not None
         else None
     )
+    live = _live_of(observer)
+    if live is not None:
+        live.job_started(conf.name)
     try:
+        if live is not None:
+            live.phase_started(conf.name, "map", len(conf.inputs))
         if fctx.active:
             pairs = _run_map_phase_faulted(
                 fs, conf, counters, observer, cost_model, executor, workers,
@@ -1546,6 +1773,8 @@ def run_job(
             pairs = _run_map_phase(
                 fs, conf, counters, observer, cost_model, executor, workers
             )
+        if live is not None:
+            live.phase_finished(conf.name, "map")
         counters.increment("framework", "shuffle_records", len(pairs))
 
         if columnar_kind is not None:
@@ -1566,6 +1795,8 @@ def run_job(
                 profiler=profiler, job=job,
             )
 
+        if live is not None:
+            live.phase_started(conf.name, "shuffle", 1)
         if observer is not None:
             with observer.span(
                 "shuffle", kind="phase", job=conf.name
@@ -1584,10 +1815,14 @@ def run_job(
                     )
         else:
             tasks = run_shuffle()
+        if live is not None:
+            live.phase_finished(conf.name, "shuffle")
         reduce_task_loads = [
             sum(len(values) for _, values in groups) for groups in tasks
         ]
 
+        if live is not None:
+            live.phase_started(conf.name, "reduce", len(tasks))
         reduce_span = (
             observer.start_span("reduce", kind="phase", job=conf.name)
             if observer is not None
@@ -1607,7 +1842,8 @@ def run_job(
             elif executor == "serial":
                 results = [
                     _run_reduce_task(
-                        conf, index, groups, observer, reduce_span, cost_model
+                        conf, index, groups, observer, reduce_span, cost_model,
+                        beat=_task_beat(live, conf.name, "reduce", index, "serial"),
                     )
                     for index, groups in enumerate(tasks)
                 ]
@@ -1622,6 +1858,9 @@ def run_job(
                             observer,
                             reduce_span,
                             cost_model,
+                            beat=_task_beat(
+                                live, conf.name, "reduce", index, "threads"
+                            ),
                         )
                         for index, groups in enumerate(tasks)
                     ]
@@ -1638,6 +1877,8 @@ def run_job(
         finally:
             if observer is not None and reduce_span is not None:
                 observer.end_span(reduce_span)
+            if live is not None:
+                live.phase_finished(conf.name, "reduce")
 
         total_output = 0
         task_outputs: List[int] = []
@@ -1667,6 +1908,8 @@ def run_job(
             output_records=total_output,
             reduce_task_outputs=task_outputs,
             reduce_task_comparisons=task_comparisons,
+            data_plane="columnar" if columnar_kind is not None else "records",
+            data_plane_fallback=plane_fallback,
         )
         if observer is not None and job_span is not None:
             job_span.counters = counters.snapshot()
@@ -1680,5 +1923,7 @@ def run_job(
             observer.record_job(result)
         return result
     finally:
+        if live is not None:
+            live.job_finished(conf.name)
         if observer is not None and job_span is not None:
             observer.end_span(job_span)

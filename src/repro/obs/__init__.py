@@ -30,12 +30,29 @@ wall-clock duration, counter deltas, and cost-model charges.
   an SVG flame graph, per-phase memory/GC watermarks, and pickle /
   repr-sort / staged-bytes serialization accounting in the ``profile``
   metric group
+* live — :class:`TelemetryHub` (``repro run --live`` / ``--progress`` /
+  ``--serve-status`` / ``$REPRO_LIVE``): per-task heartbeat bus with
+  live progress/ETA, an observed-straggler watchdog that feeds the
+  existing speculative re-execution path, and an embedded HTTP status
+  endpoint (:class:`StatusServer`: ``/metrics``, ``/progress``, ``/``)
 
 Observation is strictly passive: with no observer attached nothing is
 recorded and results, counters and benchmark numbers are unchanged.
 """
 
 from repro.obs.dashboard import dashboard_from_recorder, render_dashboard
+from repro.obs.live import (
+    Heartbeat,
+    LiveConfig,
+    ProgressPrinter,
+    StatusServer,
+    TaskBeat,
+    TelemetryHub,
+    fetch_progress,
+    render_progress_line,
+    render_top,
+    resolve_live,
+)
 from repro.obs.explain import (
     PlanExplain,
     PlanReconciliation,
@@ -101,4 +118,14 @@ __all__ = [
     "resolve_profile",
     "render_flame_svg",
     "data_plane_summary",
+    "TelemetryHub",
+    "LiveConfig",
+    "resolve_live",
+    "TaskBeat",
+    "Heartbeat",
+    "StatusServer",
+    "ProgressPrinter",
+    "fetch_progress",
+    "render_progress_line",
+    "render_top",
 ]

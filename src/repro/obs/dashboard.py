@@ -38,6 +38,7 @@ anchored to the baseline, and text never set in a series colour.
 from __future__ import annotations
 
 import html as _html
+from dataclasses import replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.span import Span
@@ -150,19 +151,41 @@ def _fmt(value: float, digits: int = 2) -> str:
 # --------------------------------------------------------------------------
 # span digestion
 # --------------------------------------------------------------------------
-def _job_rows(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+def _effective(span: Span, now: Optional[float]) -> Optional[Span]:
+    """The span itself when closed; a shallow copy ending *now* when the
+    span is still open and ``now`` is given (the live status endpoint
+    renders in-flight spans this way); ``None`` otherwise."""
+    if span.end is not None:
+        return span
+    if now is None:
+        return None
+    return replace(span, end=max(now, span.start), children=[])
+
+
+def _job_rows(
+    spans: Sequence[Span], now: Optional[float] = None
+) -> List[Dict[str, Any]]:
     """One row per job span (start order): name, window, phase spans,
-    recorded reducer loads, counter snapshot."""
+    recorded reducer loads, counter snapshot.  With ``now`` given, jobs
+    and phases still open are included as if they ended now."""
     phases_by_job: Dict[str, List[Span]] = {}
-    for span in spans:
-        if span.kind == "phase" and span.end is not None:
-            job = str(span.attributes.get("job", "?"))
-            phases_by_job.setdefault(job, []).append(span)
+    for raw in spans:
+        if raw.kind != "phase":
+            continue
+        span = _effective(raw, now)
+        if span is None:
+            continue
+        job = str(span.attributes.get("job", "?"))
+        phases_by_job.setdefault(job, []).append(span)
+    job_spans = [
+        effective
+        for effective in (
+            _effective(s, now) for s in spans if s.kind == "job"
+        )
+        if effective is not None
+    ]
     rows: List[Dict[str, Any]] = []
-    for span in sorted(
-        (s for s in spans if s.kind == "job" and s.end is not None),
-        key=lambda s: (s.start, s.span_id),
-    ):
+    for span in sorted(job_spans, key=lambda s: (s.start, s.span_id)):
         name = str(span.attributes.get("job", span.name))
         phases = [
             phase
@@ -594,6 +617,29 @@ def _data_plane_panel(metrics: Optional[Mapping[str, Any]]) -> str:
     )
 
 
+def _fallback_panel(metrics: Optional[Mapping[str, Any]]) -> str:
+    """Jobs that requested the columnar data plane but fell back to the
+    record plane, with the gate's reason — from the
+    ``repro_data_plane_fallback_total`` family.  Empty string when no
+    job fell back."""
+    rows = [
+        (labels.get("job", "?"), labels.get("reason", "?"), int(value))
+        for labels, value in _metric_samples(
+            metrics, "repro_data_plane_fallback_total"
+        )
+    ]
+    if not rows:
+        return ""
+    return (
+        "<h2>Data plane &#183; columnar fallbacks</h2>"
+        '<div class="card">'
+        + _table(("job", "reason", "jobs"), sorted(rows))
+        + '<p class="legend">these jobs requested the columnar plane '
+        "but ran on the record plane</p>"
+        + "</div>"
+    )
+
+
 def _flame_panel(flame_svg: Optional[str]) -> str:
     if not flame_svg:
         return ""
@@ -634,6 +680,7 @@ def render_dashboard(
     *,
     title: str = "repro run",
     flame_svg: Optional[str] = None,
+    now: Optional[float] = None,
 ) -> str:
     """Render one self-contained HTML dashboard string.
 
@@ -643,15 +690,24 @@ def render_dashboard(
     or ``None`` to skip the metric-backed tables.  ``flame_svg`` embeds
     a profiled run's flame graph (``Profiler.flame_svg()``) as its own
     panel; the Data plane table appears whenever the snapshot carries
-    ``repro_profile_*`` families.
+    ``repro_profile_*`` families.  ``now`` (recorder-epoch seconds)
+    renders spans still *open* as if they ended now — the live status
+    endpoint's mid-run view; without it open spans are skipped as
+    before.
     """
     if metrics is not None and hasattr(metrics, "as_dict"):
         metrics = metrics.as_dict()
-    jobs = _job_rows(spans)
+    jobs = _job_rows(spans, now)
     closed = [span for span in spans if span.end is not None]
+    open_count = len(spans) - len(closed)
+    bounds = [
+        (span.start, span.end if span.end is not None else now)
+        for span in spans
+        if span.end is not None or now is not None
+    ]
     wall = (
-        max(span.end for span in closed) - min(span.start for span in closed)
-        if closed
+        max(end for _, end in bounds) - min(start for start, _ in bounds)
+        if bounds
         else 0.0
     )
     legend = (
@@ -675,8 +731,13 @@ def render_dashboard(
         f"<title>{_esc(title)}</title>",
         f"<style>{_CSS}</style></head><body>",
         f"<h1>{_esc(title)}</h1>",
-        f'<p class="sub">{len(jobs)} jobs &#183; {len(closed)} spans '
-        f"&#183; {wall * 1e3:.2f} ms wall</p>",
+        f'<p class="sub">{len(jobs)} jobs &#183; {len(closed)} spans'
+        + (
+            f" (+{open_count} in flight)"
+            if now is not None and open_count
+            else ""
+        )
+        + f" &#183; {wall * 1e3:.2f} ms wall</p>",
         "<h2>Per-phase timeline</h2>",
         f'<div class="card">{legend}{_timeline_svg(jobs)}</div>',
         "<h2>Per-reducer load distribution</h2>",
@@ -685,6 +746,7 @@ def render_dashboard(
         f'<div class="card">{_skew_table(jobs)}</div>',
         _plan_panel(spans, metrics),
         _data_plane_panel(metrics),
+        _fallback_panel(metrics),
         _flame_panel(flame_svg),
         _algorithm_tables(metrics),
         _metrics_overview(metrics),

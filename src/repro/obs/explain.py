@@ -317,6 +317,10 @@ class PlanExplain:
     prediction: Optional["PlanPrediction"]
     prediction_error: Optional[str]
     data_plane: str = "records"
+    #: pre-run warning about the data plane (e.g. the chosen algorithm
+    #: declares no columnar support, so a columnar request would fall
+    #: back to records for every job).
+    data_plane_note: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -331,6 +335,7 @@ class PlanExplain:
             "num_partitions": self.num_partitions,
             "partitioner": self.partitioner,
             "data_plane": self.data_plane,
+            "data_plane_note": self.data_plane_note,
             "kernels": [list(pair) for pair in self.kernels],
             "prediction": (
                 self.prediction.as_dict() if self.prediction else None
@@ -365,6 +370,8 @@ class PlanExplain:
             )
         else:
             lines.append("  data plane:  records (tuple-at-a-time)")
+        if self.data_plane_note:
+            lines.append(f"  data plane note: {self.data_plane_note}")
         if self.kernels:
             lines.append("  kernels:")
             for condition, kernel in self.kernels:
@@ -512,6 +519,14 @@ def explain_query(
     else:
         prediction_error = "no data bound; profile unavailable"
 
+    data_plane_note = None
+    if plane == "columnar" and not getattr(runner, "columnar_capable", False):
+        data_plane_note = (
+            f"algorithm {runner.name!r} declares no columnar support; "
+            "every job would fall back to the records plane "
+            "(repro_data_plane_fallback_total records the per-job reasons)"
+        )
+
     return PlanExplain(
         query=str(query),
         query_class=query.query_class.name,
@@ -530,6 +545,7 @@ def explain_query(
         prediction=prediction,
         prediction_error=prediction_error,
         data_plane=plane,
+        data_plane_note=data_plane_note,
     )
 
 

@@ -59,6 +59,7 @@ __all__ = [
     "GROUP_WALL",
     "GROUP_FAULTS",
     "GROUP_PROFILE",
+    "GROUP_LIVE",
     "LOAD_BUCKETS",
     "SECONDS_BUCKETS",
 ]
@@ -71,6 +72,10 @@ GROUP_WALL = "wall"
 GROUP_FAULTS = "faults"
 #: Data-plane profiling facts (machine-dependent, excluded from parity).
 GROUP_PROFILE = "profile"
+#: Live operational telemetry — heartbeat counts, progress/ETA gauges,
+#: watchdog flags, data-plane fallback accounting.  Cadence-driven and
+#: configuration-dependent, so excluded from parity fingerprints.
+GROUP_LIVE = "live"
 
 #: Fixed boundaries for tuple-load histograms (per-reducer and per-key).
 LOAD_BUCKETS: Tuple[float, ...] = (
@@ -84,7 +89,9 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
 
-_VALID_GROUPS = (GROUP_RUN, GROUP_WALL, GROUP_FAULTS, GROUP_PROFILE)
+_VALID_GROUPS = (
+    GROUP_RUN, GROUP_WALL, GROUP_FAULTS, GROUP_PROFILE, GROUP_LIVE
+)
 
 
 class MetricError(ReproError, ValueError):
@@ -503,7 +510,10 @@ class MetricsRegistry:
 
     # -- comparison -----------------------------------------------------
     def fingerprint(
-        self, exclude_groups: Tuple[str, ...] = (GROUP_WALL, GROUP_PROFILE)
+        self,
+        exclude_groups: Tuple[str, ...] = (
+            GROUP_WALL, GROUP_PROFILE, GROUP_LIVE,
+        ),
     ) -> Dict[str, Tuple[Any, ...]]:
         """A hashable, comparable digest of the sample values.
 

@@ -19,6 +19,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
+from repro.obs.live import TelemetryHub, resolve_live
 from repro.obs.metrics import SECONDS_BUCKETS, GROUP_WALL, MetricsRegistry
 from repro.obs.profile import Profiler, resolve_profile
 from repro.obs.span import Span
@@ -42,6 +43,13 @@ class TraceRecorder:
         as-is.  When active, ``self.profiler`` records CPU/memory/GC/
         serialization facts into the ``profile`` metric group and the
         instrumented layers (runner, shuffle, fs) report through it.
+    live:
+        Live run telemetry: ``None`` (default) defers to
+        ``$REPRO_LIVE``, ``True``/``False``/a stall threshold force it,
+        and an existing :class:`~repro.obs.live.TelemetryHub` is adopted
+        as-is.  When active, ``self.live`` collects per-task heartbeats
+        into the ``live`` metric group and powers ``--progress``,
+        ``--serve-status`` and the observed-straggler watchdog.
 
     The recorder itself is the in-memory record: ``roots`` is the span
     tree, ``spans`` the flat close-order list, and ``job_results`` the
@@ -50,7 +58,9 @@ class TraceRecorder:
     consume).
     """
 
-    def __init__(self, *sinks: Any, profile: Any = None) -> None:
+    def __init__(
+        self, *sinks: Any, profile: Any = None, live: Any = None
+    ) -> None:
         self._sinks: List[Any] = list(sinks)
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -75,6 +85,16 @@ class TraceRecorder:
                 self.profiler = Profiler(self.metrics, level=level)
         if self.profiler is not None:
             self.profiler.start()
+        #: The live telemetry hub, or ``None`` when live telemetry is off.
+        self.live: Optional[TelemetryHub] = None
+        if isinstance(live, TelemetryHub):
+            self.live = live
+        else:
+            config = resolve_live(live)
+            if config is not None:
+                self.live = TelemetryHub(self.metrics, config)
+        if self.live is not None:
+            self.live.start()
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -242,12 +262,34 @@ class TraceRecorder:
             self._sinks.append(sink)
 
     def close(self) -> None:
-        """Flush and close every attached sink; stops the profiler."""
+        """Flush and close every attached sink; stops the profiler and
+        the live telemetry hub (publishing its final ETA-vs-actual
+        gauges)."""
         if self.profiler is not None:
             self.profiler.stop()
+        if self.live is not None:
+            self.live.close()
         with self._lock:
             for sink in self._sinks:
                 sink.close()
+
+    def snapshot_spans(self) -> List[Span]:
+        """Every span recorded so far — closed spans plus the spans
+        still *open* right now.  This is what the live status endpoint
+        renders the mid-run dashboard from; open spans keep
+        ``end=None`` and renderers substitute the current time."""
+        with self._lock:
+            seen = set()
+            out: List[Span] = []
+            for span in self.spans:
+                out.append(span)
+                seen.add(span.span_id)
+            for root in self.roots:
+                for span in root.walk():
+                    if span.span_id not in seen:
+                        out.append(span)
+                        seen.add(span.span_id)
+            return out
 
     # ------------------------------------------------------------------
     def find(

@@ -225,3 +225,130 @@ def test_explain_surfaces_data_plane():
     default = explain_query(query, num_partitions=4)
     assert default.data_plane == "records"
     assert default.as_dict()["data_plane"] == "records"
+
+
+class TestFallbackObservability:
+    """Per-job columnar fallbacks are observable, not silent: a labelled
+    counter, the job span, the job result and (when the whole run fell
+    back) one log warning all say *why* the records plane ran."""
+
+    def _fallback_samples(self, recorder):
+        metric = recorder.metrics.get("repro_data_plane_fallback_total")
+        return dict(metric.samples()) if metric is not None else {}
+
+    def test_protocol_gap_reason_recorded(self):
+        """all_matrix implements no columnar protocol: every job falls
+        back with the gate's reason, on the metric, the span and the
+        job result alike."""
+        data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+        _, recorder = _run(
+            "all_matrix", SEQUENCE, data, "serial", "columnar"
+        )
+        samples = self._fallback_samples(recorder)
+        assert samples
+        assert all(
+            reason == "mapper-no-columnar-protocol"
+            for _, reason in samples
+        )
+        for job_result in recorder.job_results:
+            assert job_result.data_plane == "records"
+            assert (
+                job_result.data_plane_fallback
+                == "mapper-no-columnar-protocol"
+            )
+        job_spans = [s for s in recorder.spans if s.kind == "job"]
+        assert job_spans
+        assert all(
+            s.attributes.get("data_plane_fallback")
+            == "mapper-no-columnar-protocol"
+            for s in job_spans
+        )
+
+    def test_fault_machinery_reason_recorded(self):
+        data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+        _, recorder = _run(
+            "rccis", COLOCATION, data, "serial", "columnar",
+            faults=pinned_plan(), max_attempts=3,
+        )
+        samples = self._fallback_samples(recorder)
+        assert samples
+        assert all(
+            reason == "fault-machinery-active" for _, reason in samples
+        )
+
+    def test_no_fallback_metric_when_columnar_runs(self):
+        data = make_dataset(("R1", "R2"), 60, seed=11)
+        query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+        result, recorder = _run(
+            "two_way", query, data, "serial", "columnar"
+        )
+        assert not self._fallback_samples(recorder)
+        assert all(
+            job.data_plane == "columnar" for job in recorder.job_results
+        )
+
+    def test_fallback_counter_outside_fingerprint(self):
+        """The fallback counter lives in the live metric group, so the
+        deterministic fingerprint stays plane-independent even when the
+        columnar request degrades."""
+        data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+        _, records_rec = _run(
+            "all_matrix", SEQUENCE, data, "serial", "records"
+        )
+        _, columnar_rec = _run(
+            "all_matrix", SEQUENCE, data, "serial", "columnar"
+        )
+        assert (
+            records_rec.metrics.fingerprint()
+            == columnar_rec.metrics.fingerprint()
+        )
+
+    def test_whole_run_fallback_warns_once(self, caplog):
+        import logging
+
+        data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+        with caplog.at_level(logging.WARNING, logger="repro.columnar"):
+            _run("all_matrix", SEQUENCE, data, "serial", "columnar")
+        warnings = [
+            record
+            for record in caplog.records
+            if "fell back to the records plane" in record.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "mapper-no-columnar-protocol" in warnings[0].getMessage()
+
+    def test_partial_or_records_runs_do_not_warn(self, caplog):
+        import logging
+
+        data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+        with caplog.at_level(logging.WARNING, logger="repro.columnar"):
+            _run("all_matrix", SEQUENCE, data, "serial", "records")
+            _run("rccis", COLOCATION, data, "serial", "columnar")
+        assert not [
+            record
+            for record in caplog.records
+            if "fell back to the records plane" in record.getMessage()
+        ]
+
+    def test_explain_notes_wholesale_fallback(self):
+        from repro.obs.explain import explain_query
+
+        query = SEQUENCE
+        plan = explain_query(
+            query,
+            algorithm="all_matrix",
+            num_partitions=4,
+            data_plane="columnar",
+        )
+        assert plan.data_plane_note is not None
+        assert "no columnar support" in plan.data_plane_note
+        assert "data plane note:" in plan.render()
+        assert plan.as_dict()["data_plane_note"] == plan.data_plane_note
+
+        capable = explain_query(
+            IntervalJoinQuery.parse([("R1", "overlaps", "R2")]),
+            algorithm="two_way",
+            num_partitions=4,
+            data_plane="columnar",
+        )
+        assert capable.data_plane_note is None

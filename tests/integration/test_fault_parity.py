@@ -16,8 +16,8 @@ import pytest
 
 from repro.core.executor import execute
 from repro.core.query import IntervalJoinQuery
-from repro.faults import FaultPlan
-from repro.obs import TraceRecorder
+from repro.faults import CRASH, DELAY, FaultEvent, FaultPlan, ScriptedFaultPlan
+from repro.obs import LiveConfig, TraceRecorder
 
 from tests.conftest import make_dataset
 
@@ -162,6 +162,80 @@ class TestFaultParity:
             if span.kind == "attempt"
         }
         assert {"map", "reduce"} <= failed_phases
+
+
+def test_watchdog_observes_injected_delay_and_launches_backup():
+    """A scripted delay becomes an *observed* straggler: the live
+    watchdog — not the fault script — flags the stalled attempt and
+    launches the backup through the speculative path.
+
+    Attempt 0 of reduce task 0 goes silent for the sleep cap (~50 ms
+    real under ``threads``) and then crashes at commit; attempt 1 wins
+    cleanly, so the plan-delayed speculation trigger does NOT apply
+    (the winner was never delayed).  The only way a backup can appear
+    is the watchdog's stalled-heartbeat observation."""
+    query = IntervalJoinQuery.parse([("R1", "overlaps", "R2")])
+    data = make_dataset(("R1", "R2"), 60, seed=11)
+    plan = ScriptedFaultPlan(
+        {
+            ("two-way", "reduce", 0, 0): (
+                FaultEvent(DELAY, "setup", 0.3),
+                FaultEvent(CRASH, "commit"),
+            )
+        }
+    )
+    baseline, base_rec = _run(
+        "two_way", query, data, "serial", faults=False
+    )
+
+    # The watchdog races the capped ~50 ms delay sleep; under heavy
+    # host load its poll thread may not get scheduled inside the
+    # window, so allow a couple of fresh runs before declaring failure.
+    for _ in range(3):
+        recorder = TraceRecorder(
+            live=LiveConfig(stall_seconds=0.02, poll_interval=0.005)
+        )
+        chaos = execute(
+            query,
+            data,
+            algorithm="two_way",
+            num_partitions=5,
+            executor="threads",
+            workers=2,
+            observer=recorder,
+            faults=plan,
+            max_attempts=3,
+            speculative=True,
+        )
+        recorder.close()
+        backups = [
+            span
+            for span in recorder.spans
+            if span.kind == "attempt"
+            and span.attributes.get("speculative") is True
+        ]
+        if backups:
+            break
+
+    assert len(backups) == 1
+    assert backups[0].attributes["trigger"] == "watchdog"
+    assert backups[0].attributes["job"] == "two-way"
+    assert backups[0].attributes["phase"] == "reduce"
+    assert backups[0].attributes["task_index"] == 0
+
+    # The backup's output was discarded before commit: tuples, part
+    # files and winner-only counters equal the fault-free run.
+    assert chaos.tuple_ids() == baseline.tuple_ids()
+    assert _counters_sans_faults(recorder) == _counters_sans_faults(
+        base_rec
+    )
+    assert _task_span_profile(recorder) == _task_span_profile(base_rec)
+    merged = {}
+    for job_result in recorder.job_results:
+        for name, value in job_result.counters.group("faults").items():
+            merged[name] = merged.get(name, 0) + value
+    assert merged["speculative_wasted"] == 1
+    assert merged["tasks_failed"] == 1  # the scripted commit crash
 
 
 def test_executor_counters_identical_under_chaos():

@@ -1,0 +1,356 @@
+"""Live telemetry parity: monitoring must never change the run.
+
+The contract of :mod:`repro.obs.live` — the heartbeat bus, progress/ETA,
+the observed-straggler watchdog and the status endpoint are strictly
+*passive*: with live telemetry off the run is bit-identical to the seed
+behaviour, and with it on the output tuples, counters and metric
+fingerprints (which exclude the ``wall``/``profile``/``live`` groups by
+construction) stay bit-identical across all three executors, with or
+without chaos.  The watchdog feeds the existing speculative path — the
+backup is launched by *observation*, not by a fault script — and its
+loser is discarded before commit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.executor import execute
+from repro.core.query import IntervalJoinQuery
+from repro.mapreduce.fs import InMemoryFileSystem
+from repro.mapreduce.job import InputSpec, JobConf
+from repro.mapreduce.runner import run_job
+from repro.mapreduce.task import Mapper, Reducer
+from repro.obs import LiveConfig, StatusServer, TraceRecorder, fetch_progress
+
+from tests.conftest import make_dataset
+from tests.integration.test_fault_parity import (
+    _counters_sans_faults,
+    _task_span_profile,
+    pinned_plan,
+)
+
+HYBRID = IntervalJoinQuery.parse(
+    [("R1", "overlaps", "R2"), ("R2", "before", "R3")]
+)
+
+#: A representative slice of the paper's algorithms: the 1-bucket join,
+#: a grid algorithm, and a hybrid composite.  The full ten-algorithm
+#: sweep lives in test_executor_parity.py; live telemetry rides the
+#: same dispatch paths, so three families pin the invariant.
+CASES = [
+    ("two_way", IntervalJoinQuery.parse([("R1", "overlaps", "R2")]),
+     ("R1", "R2")),
+    ("rccis", IntervalJoinQuery.parse(
+        [("R1", "overlaps", "R2"), ("R2", "overlaps", "R3")]
+    ), ("R1", "R2", "R3")),
+    ("pasm", HYBRID, ("R1", "R2", "R3")),
+]
+
+EXECUTORS = ["serial", "threads", "processes"]
+
+#: Fast watchdog settings for tests: a 50 ms silence is a stall.
+FAST_WATCH = dict(stall_seconds=0.05, poll_interval=0.01)
+
+
+def _run(algorithm, query, data, executor, live=None, **kwargs):
+    recorder = TraceRecorder(live=live if live is not None else False)
+    result = execute(
+        query,
+        data,
+        algorithm=algorithm,
+        num_partitions=5,
+        executor=executor,
+        workers=2,
+        observer=recorder,
+        **kwargs,
+    )
+    recorder.close()
+    return result, recorder
+
+
+def _job_counters(recorder):
+    return [
+        (job.name, job.counters.as_dict())
+        for job in recorder.job_results
+    ]
+
+
+# ----------------------------------------------------------------------
+# Passivity: live off == seed, live on == live off.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "algorithm,query,relations", CASES, ids=[case[0] for case in CASES]
+)
+class TestLivePassivity:
+    def test_live_off_by_default(self, algorithm, query, relations):
+        data = make_dataset(relations, 60, seed=11)
+        _, recorder = _run(algorithm, query, data, "serial")
+        assert recorder.live is None
+        names = {metric.name for metric in recorder.metrics.families()}
+        assert not any(name.startswith("repro_live_") for name in names)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_live_on_changes_nothing(
+        self, algorithm, query, relations, executor
+    ):
+        data = make_dataset(relations, 60, seed=11)
+        plain, plain_rec = _run(algorithm, query, data, executor)
+        live, live_rec = _run(
+            algorithm, query, data, executor, live=LiveConfig()
+        )
+
+        assert live.tuple_ids() == plain.tuple_ids()
+        assert len(plain) > 0
+        assert _job_counters(live_rec) == _job_counters(plain_rec)
+        # The default fingerprint excludes wall/profile/live, so the
+        # monitored run hashes identically to the unmonitored one.
+        assert (
+            live_rec.metrics.fingerprint()
+            == plain_rec.metrics.fingerprint()
+        )
+        assert _task_span_profile(live_rec) == _task_span_profile(plain_rec)
+
+        # ... and the hub really did observe the run.
+        snapshot = live_rec.live.snapshot()
+        assert snapshot["heartbeats"] > 0
+        assert snapshot["closed"] is True
+        assert snapshot["progress"] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Cross-executor parity with live telemetry attached.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "algorithm,query,relations", CASES, ids=[case[0] for case in CASES]
+)
+def test_live_runs_identical_across_executors(algorithm, query, relations):
+    data = make_dataset(relations, 60, seed=11)
+    # A huge heartbeat interval suppresses the *time-throttled* mid-task
+    # progress beats, leaving only the structural ones (start, forced
+    # end-of-loop progress, finish) — a deterministic count that must
+    # not depend on which backend ran the task.
+    packs = [
+        _run(
+            algorithm, query, data, executor,
+            live=LiveConfig(heartbeat_interval=60.0),
+        )
+        for executor in EXECUTORS
+    ]
+    tuple_ids = [result.tuple_ids() for result, _ in packs]
+    assert tuple_ids[0] == tuple_ids[1] == tuple_ids[2]
+    fingerprints = [rec.metrics.fingerprint() for _, rec in packs]
+    assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+    counters = [_job_counters(rec) for _, rec in packs]
+    assert counters[0] == counters[1] == counters[2]
+    # Heartbeat *counts* are executor-independent too: every task emits
+    # exactly one start and one finish, and throttled progress beats are
+    # record-count driven, not time driven.
+    beats = [rec.live.snapshot()["heartbeats"] for _, rec in packs]
+    assert beats[0] == beats[1] == beats[2]
+    assert beats[0] > 0
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_chaos_with_live_equals_clean_without(executor):
+    """Chaos + watchdog + monitoring together stay invisible."""
+    data = make_dataset(("R1", "R2", "R3"), 60, seed=11)
+    clean, clean_rec = _run("rccis", CASES[1][1], data, "serial",
+                            faults=False, max_attempts=1)
+    chaos, chaos_rec = _run(
+        "rccis", CASES[1][1], data, executor,
+        live=LiveConfig(**FAST_WATCH),
+        faults=pinned_plan(), max_attempts=3, speculative=True,
+    )
+    assert chaos.tuple_ids() == clean.tuple_ids()
+    assert chaos.metrics.tasks_failed > 0
+    assert _counters_sans_faults(chaos_rec) == _counters_sans_faults(
+        clean_rec
+    )
+    assert _task_span_profile(chaos_rec) == _task_span_profile(clean_rec)
+
+
+# ----------------------------------------------------------------------
+# Watchdog-triggered speculation: the backup comes from observation.
+# ----------------------------------------------------------------------
+
+class TokenizeMapper(Mapper):
+    def map(self, record, context):
+        for word in record.split():
+            context.emit(word, 1)
+
+
+class StallingSumReducer(Reducer):
+    """Sums per key — but reduce task 0 goes silent for ``seconds``
+    before its first key, with no fault plan scripting it.  Exactly the
+    observed straggler the watchdog exists to catch."""
+
+    def __init__(self, seconds: float = 0.3) -> None:
+        self.seconds = seconds
+
+    def setup(self, context):
+        if context.task_index == 0:
+            time.sleep(self.seconds)
+
+    def reduce(self, key, values, context):
+        context.emit((key, sum(values)))
+
+
+def _word_count_conf(reducer):
+    return JobConf(
+        name="wordcount",
+        inputs=[InputSpec("in/doc", TokenizeMapper())],
+        reducer=reducer,
+        output="out",
+        num_reduce_tasks=3,
+    )
+
+
+def _word_count_fs():
+    fs = InMemoryFileSystem()
+    fs.write("in/doc", ["the quick brown fox", "the lazy dog", "the fox"])
+    return fs
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_watchdog_launches_backup_and_discards_loser(executor):
+    clean_fs = _word_count_fs()
+    run_job(clean_fs, _word_count_conf(StallingSumReducer(0.0)),
+            faults=False)
+    expected = sorted(clean_fs.read_dir("out"))
+
+    fs = _word_count_fs()
+    recorder = TraceRecorder(live=LiveConfig(**FAST_WATCH))
+    result = run_job(
+        fs,
+        _word_count_conf(StallingSumReducer(0.3)),
+        executor=executor,
+        observer=recorder,
+        faults=False,
+        speculative=True,
+    )
+    recorder.close()
+
+    # The watchdog observed the stall (no script told it to)...
+    snapshot = recorder.live.snapshot()
+    assert {"job": "wordcount", "phase": "reduce", "task_index": 0} in (
+        snapshot["stalled"]
+    )
+
+    # ... launched a backup attempt through the speculative path ...
+    backups = [
+        span
+        for span in recorder.spans
+        if span.kind == "attempt"
+        and span.attributes.get("speculative") is True
+    ]
+    assert len(backups) == 1
+    assert backups[0].attributes["trigger"] == "watchdog"
+    assert backups[0].attributes["task_index"] == 0
+    assert backups[0].attributes["phase"] == "reduce"
+    assert result.counters.value("faults", "speculative_wasted") == 1
+
+    # ... and the loser was discarded before commit: outputs, part files
+    # and non-fault counters are bit-identical to the clean run.
+    assert sorted(fs.read_dir("out")) == expected
+    assert result.counters.value("faults", "tasks_failed") == 0
+
+
+def test_watchdog_needs_speculative_opt_in():
+    """Monitoring alone never launches backups: without --speculative
+    the stall is flagged (metrics) but nothing re-runs."""
+    fs = _word_count_fs()
+    recorder = TraceRecorder(live=LiveConfig(**FAST_WATCH))
+    run_job(
+        fs,
+        _word_count_conf(StallingSumReducer(0.2)),
+        executor="threads",
+        observer=recorder,
+        faults=False,
+    )
+    recorder.close()
+    assert recorder.live.snapshot()["stalled"]
+    assert not any(
+        span.attributes.get("speculative") for span in recorder.spans
+    )
+
+
+# ----------------------------------------------------------------------
+# The status endpoint, scraped mid-run.
+# ----------------------------------------------------------------------
+
+class DawdlingSumReducer(Reducer):
+    """Sums per key, taking its time — keeps the run alive long enough
+    for an HTTP scrape while emitting steady heartbeats."""
+
+    def reduce(self, key, values, context):
+        time.sleep(0.02)
+        context.progress()
+        context.emit((key, sum(values)))
+
+
+def test_endpoint_serves_metrics_and_progress_mid_run():
+    fs = _word_count_fs()
+    recorder = TraceRecorder(live=LiveConfig())
+    server = StatusServer(recorder, port=0)
+    server.start()
+    try:
+        worker = threading.Thread(
+            target=run_job,
+            args=(fs, _word_count_conf(DawdlingSumReducer())),
+            kwargs=dict(executor="threads", observer=recorder),
+        )
+        worker.start()
+        try:
+            # Poll /progress until the run is visibly in flight.
+            deadline = time.monotonic() + 10.0
+            snapshot = fetch_progress(server.url)
+            while (
+                snapshot["heartbeats"] == 0 or not snapshot["jobs"]
+            ) and time.monotonic() < deadline:
+                time.sleep(0.01)
+                snapshot = fetch_progress(server.url)
+            assert snapshot["heartbeats"] > 0
+            assert snapshot["jobs"][0]["job"] == "wordcount"
+            assert snapshot["closed"] is False
+
+            # /metrics speaks Prometheus text and carries the live
+            # families while tasks are still running.
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=5
+            ) as response:
+                body = response.read().decode("utf-8")
+            assert "# TYPE repro_live_heartbeats_total counter" in body
+            assert 'repro_live_tasks{job="wordcount"' in body
+            assert "repro_live_run_progress_ratio" in body
+
+            # The dashboard renders from the in-flight spans.
+            with urllib.request.urlopen(server.url + "/", timeout=5) as (
+                response
+            ):
+                page = response.read().decode("utf-8")
+            assert "wordcount" in page
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        recorder.close()
+        final = fetch_progress(server.url)
+        assert final["closed"] is True
+        assert final["progress"] == pytest.approx(1.0)
+        # Closing publishes the ETA-vs-actual reconciliation gauge.
+        with urllib.request.urlopen(
+            server.url + "/metrics", timeout=5
+        ) as response:
+            body = response.read().decode("utf-8")
+        assert 'repro_live_run_seconds{kind="actual"}' in body
+    finally:
+        server.close()
+
+    assert sorted(fs.read_dir("out"))

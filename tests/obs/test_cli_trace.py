@@ -142,3 +142,77 @@ class TestHistoryAndReport:
         assert "run report" in out
         assert "job rccis-flag:" in out
         assert "job rccis-join:" in out
+
+
+class TestReportDegradation:
+    """``repro report`` renders whatever a damaged or partial trace
+    still contains instead of failing — a live run's trace file may be
+    cut off mid-write (truncated record) or may predate the plan span
+    entirely (e.g. a bare ``run_job`` observed with live telemetry)."""
+
+    def _trace(self, quickstart_files, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        exit_code = main(
+            _run_args(quickstart_files)
+            + ["--trace", str(trace), "--trace-format", "jsonl"]
+        )
+        assert exit_code == 0
+        return trace
+
+    def test_truncated_trace_warns_and_renders(
+        self, quickstart_files, tmp_path, capsys
+    ):
+        trace = self._trace(quickstart_files, tmp_path)
+        text = trace.read_text()
+        # Chop the file mid-record, as a crashed run would leave it.
+        trace.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2])
+        html = tmp_path / "report.html"
+        exit_code = main(["report", str(trace), "--html", str(html)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "unparsable JSON" in captured.err
+        assert "spans:" in captured.out
+        assert html.exists()
+        assert "rccis" in html.read_text()
+
+    def test_live_spans_without_plan_span(self, tmp_path, capsys):
+        """A trace from a live-monitored bare job has task spans but no
+        plan span: reconciliation is skipped, the report still prints."""
+        from repro.mapreduce.fs import InMemoryFileSystem
+        from repro.mapreduce.job import InputSpec, JobConf
+        from repro.mapreduce.runner import run_job
+        from repro.mapreduce.task import IdentityMapper, Reducer
+        from repro.obs import JsonlSink, LiveConfig, TraceRecorder
+
+        class CountReducer(Reducer):
+            def reduce(self, key, values, context):
+                context.emit((key, len(values)))
+
+        fs = InMemoryFileSystem()
+        fs.write("in/doc", ["a", "b", "c"])
+        trace = tmp_path / "live.jsonl"
+        recorder = TraceRecorder(
+            JsonlSink(str(trace)), live=LiveConfig()
+        )
+        run_job(
+            fs,
+            JobConf(
+                name="bare",
+                inputs=[InputSpec("in/doc", IdentityMapper())],
+                reducer=CountReducer(),
+                output="out",
+                num_reduce_tasks=2,
+            ),
+            observer=recorder,
+        )
+        recorder.close()
+
+        html = tmp_path / "report.html"
+        exit_code = main(["report", str(trace), "--html", str(html)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "no plan spans in trace; reconciliation skipped" in (
+            captured.out
+        )
+        assert "1 jobs" in captured.out
+        assert html.exists()
